@@ -1,0 +1,81 @@
+"""Ablation — how much does dead-reckoning quality cost end to end?
+
+Sec. 5.2's motion tracker feeds the regression; this bench isolates its
+contribution by swapping the motion source while holding everything else
+fixed:
+
+* **oracle motion** — the simulator's ground-truth displacements (an upper
+  bound no phone can reach);
+* **turn-based DR** — the paper's step counter + turn detector (default);
+* **right-angle DR** — the paper's refinement (the user promises a 90°
+  turn, so the measured angle is discarded);
+* **fused-heading DR** — the complementary-filter heading source.
+
+Shape asserted: oracle is best-or-equal; every DR variant stays within
+~1 m of it (the paper's claim that ~95 % step accuracy and ~3.5° turn
+accuracy suffice); no variant collapses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers import measure_once, print_series, run_experiment
+from repro.core.anf import AdaptiveNoiseFilter
+from repro.core.estimator import EllipticalEstimator
+from repro.errors import EstimationError, InsufficientDataError
+from repro.motion.deadreckoning import MotionTracker
+from repro.world.scenarios import scenario
+
+ENVS = (1, 2, 9)  # LOS rooms: motion error is visible when channel is kind
+N_SEEDS = 6
+
+
+def _fit_with_motion(rec, displacement_at) -> float:
+    trace = rec.rssi_traces["target"]
+    ts = trace.timestamps()
+    p = np.array([-displacement_at(t).x for t in ts])
+    q = np.array([-displacement_at(t).y for t in ts])
+    filtered = AdaptiveNoiseFilter().apply(trace.values(),
+                                           trace.mean_rate_hz())
+    est = EllipticalEstimator().with_environment("LOS")
+    fit = est.fit(p, q, filtered)
+    return fit.position.distance_to(rec.true_position_in_frame("target"))
+
+
+def _experiment():
+    rows = {"oracle motion": [], "turn-based DR": [],
+            "right-angle DR": [], "fused-heading DR": []}
+    for idx in ENVS:
+        sc = scenario(idx)
+        for seed in range(N_SEEDS):
+            rec, _ = measure_once(sc, 9500 + seed)
+            walk = rec.observer_trajectory
+            trackers = {
+                "turn-based DR": MotionTracker(),
+                "right-angle DR": MotionTracker(assume_right_angle=True),
+                "fused-heading DR": MotionTracker(use_heading_fusion=True),
+            }
+            try:
+                rows["oracle motion"].append(
+                    _fit_with_motion(rec, walk.displacement_in_frame))
+                for name, tracker in trackers.items():
+                    track = tracker.track(rec.observer_imu.trace)
+                    rows[name].append(
+                        _fit_with_motion(rec, track.displacement_at))
+            except (EstimationError, InsufficientDataError):
+                continue
+    return {k: float(np.median(v)) for k, v in rows.items()}
+
+
+def test_ablation_motion_sources(benchmark):
+    medians = run_experiment(benchmark, _experiment)
+    print_series("Motion ablation — median error (m), LOS envs", medians)
+
+    oracle = medians["oracle motion"]
+    # Ground-truth motion is best or statistically tied.
+    for name, v in medians.items():
+        if name != "oracle motion":
+            assert v >= oracle - 0.3, f"{name} beats oracle implausibly"
+            # The paper's premise: phone-grade DR costs little end to end.
+            assert v <= oracle + 1.2, f"{name} collapses vs oracle"

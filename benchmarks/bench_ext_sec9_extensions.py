@@ -1,0 +1,175 @@
+"""Sec. 9 extensions — crowding, Bluetooth 5, straight-walk, 3-D.
+
+The paper's discussion names four directions; this bench exercises each
+implementation and asserts its headline behaviour:
+
+* **Crowded environments** (Sec. 9.2): with ~18 ambient BLE devices the
+  target's effective rate drops from ~8 Hz toward ~3 Hz (the paper's own
+  interference observation) and accuracy degrades but does not collapse.
+* **Bluetooth 5** (Sec. 9.3): a Class-1 coded-PHY beacon stays audible
+  through deep blockage where a legacy beacon goes silent.
+* **Straight-walk mode** (Sec. 9.2): the mirror ambiguity left by a
+  straight measurement leg is resolved online during the navigation turn.
+* **3-D** (Sec. 9.3): with an elevation-changing walk and barometer data,
+  the 3-D fit recovers beacon height.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers import print_series, run_experiment
+from repro.ble.devices import BEACONS
+from repro.ble.interference import CrowdInterference
+from repro.channel.pathloss import rss_at
+from repro.core.anf import AdaptiveNoiseFilter
+from repro.core.estimator import EllipticalEstimator
+from repro.core.pipeline import LocBLE
+from repro.core.straightwalk import StraightWalkResolver
+from repro.core.three_d import Estimator3D, Vec3
+from repro.errors import EstimationError, InsufficientDataError
+from repro.imu.barometer import BarometerModel
+from repro.motion import MotionTracker
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.sim.simulator3d import Simulator3D, ramp_profile
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.obstacles import wall
+from repro.world.scenarios import scenario
+from repro.world.trajectory import l_shape
+
+
+def _crowding():
+    sc = scenario(6)
+    out = {}
+    for label, crowd in (("quiet", None),
+                         ("crowded", CrowdInterference(n_ambient=18))):
+        rates, errs = [], []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            sim = Simulator(sc.floorplan, rng, crowd=crowd)
+            walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                           leg1=2.8, leg2=2.2)
+            rec = sim.simulate(walk, [
+                BeaconSpec("t", position=sc.beacon_position)])
+            rates.append(rec.rssi_traces["t"].mean_rate_hz())
+            try:
+                e = LocBLE().estimate(rec.rssi_traces["t"],
+                                      rec.observer_imu.trace)
+                errs.append(e.error_to(rec.true_position_in_frame("t")))
+            except (EstimationError, InsufficientDataError):
+                errs.append(10.0)
+        out[label] = {"rate_hz": float(np.mean(rates)),
+                      "median_err": float(np.median(errs))}
+    return out
+
+
+def _ble5():
+    plan = Floorplan("deep", 20, 8, obstacles=[
+        wall(8, 0, 8, 8, "concrete_wall"),
+        wall(13, 0, 13, 8, "cinder_wall"),
+    ])
+    counts = {}
+    for name in ("estimote", "ble5_longrange"):
+        ns = []
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            sim = Simulator(plan, rng)
+            walk = l_shape(Vec2(1, 4), 0.0, leg1=2.8, leg2=2.2)
+            rec = sim.simulate(walk, [
+                BeaconSpec("b", position=Vec2(18, 4),
+                           profile=BEACONS[name])])
+            ns.append(len(rec.rssi_traces["b"]))
+        counts[name] = float(np.mean(ns))
+    return counts
+
+
+def _straight_walk():
+    resolved_correctly = 0
+    total = 0
+    for seed in range(8):
+        rng = np.random.default_rng(seed)
+        true_side = 1.0 if seed % 2 == 0 else -1.0
+        true = Vec2(4.0, 3.0 * true_side)
+        a = np.linspace(0, 3.5, 35)
+        l = np.hypot(true.x - a, true.y)
+        rss = np.array([rss_at(d, -59.0, 2.0) for d in l])
+        rss = rss + rng.normal(0, 0.8, len(rss))
+        fit, _ = EllipticalEstimator().fit_leg(a, rss)
+        resolver = StraightWalkResolver(fit)
+        for k in range(12):
+            obs = Vec2(3.5, 0.25 * (k + 1))
+            d = true.distance_to(obs)
+            reading = rss_at(d, -59.0, 2.0) + rng.normal(0, 0.8)
+            resolver.observe(-obs.x, -obs.y, reading)
+        total += 1
+        winner = resolver.current
+        if winner.y * true_side > 0:
+            resolved_correctly += 1
+    return {"correct_side": resolved_correctly, "total": total}
+
+
+def _three_d():
+    errs_xy, errs_z = [], []
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        plan = Floorplan("atrium", 12, 12)
+        sim = Simulator3D(plan, rng)
+        walk = l_shape(Vec2(2, 2), 0.3, leg1=2.8, leg2=2.2)
+        prof = ramp_profile(0.0, 1.2, walk.times[0], walk.times[0] + 2.5)
+        beacon = Vec3(7.5, 6.0, 2.8)
+        m = sim.simulate(walk, prof, beacon)
+        truth = m.true_position_in_frame()
+        track = MotionTracker().track(m.observer_imu.trace)
+        rel_alt = BarometerModel(rng).estimate_relative_altitude(
+            m.pressure_hpa)
+        ts = m.rssi_trace.timestamps()
+        p = np.array([-track.displacement_at(t).x for t in ts])
+        q = np.array([-track.displacement_at(t).y for t in ts])
+        r = -np.interp(ts, m.pressure_timestamps, rel_alt)
+        filt = AdaptiveNoiseFilter().apply(
+            m.rssi_trace.values(), m.rssi_trace.mean_rate_hz())
+        fit = Estimator3D(
+            planar=EllipticalEstimator().with_environment("LOS")
+        ).fit(p, q, r, filt)
+        errs_xy.append(np.hypot(fit.position.x - truth.x,
+                                fit.position.y - truth.y))
+        errs_z.append(abs(fit.position.z - truth.z))
+    return {"median_xy_err": float(np.median(errs_xy)),
+            "median_z_err": float(np.median(errs_z))}
+
+
+def _experiment():
+    return {
+        "crowding": _crowding(),
+        "ble5": _ble5(),
+        "straight_walk": _straight_walk(),
+        "three_d": _three_d(),
+    }
+
+
+def test_sec9_extensions(benchmark):
+    results = run_experiment(benchmark, _experiment)
+    print_series("Sec. 9.2 — crowded environment", results["crowding"])
+    print_series("Sec. 9.3 — Bluetooth 5 deep-blockage samples",
+                 results["ble5"])
+    print_series("Sec. 9.2 — straight-walk resolution",
+                 results["straight_walk"])
+    print_series("Sec. 9.3 — 3-D localisation", results["three_d"])
+
+    crowd = results["crowding"]
+    # The paper's interference observation: the rate drops hard (8 -> ~3 Hz).
+    assert crowd["crowded"]["rate_hz"] < 0.6 * crowd["quiet"]["rate_hz"]
+    # Accuracy degrades but estimation still functions.
+    assert crowd["crowded"]["median_err"] < 9.0
+
+    # BLE 5 long range stays audible where legacy goes silent.
+    assert results["ble5"]["ble5_longrange"] > results["ble5"]["estimote"] + 5
+
+    # Straight-walk: the navigation turn resolves the mirror most of the time.
+    sw = results["straight_walk"]
+    assert sw["correct_side"] >= int(0.75 * sw["total"])
+
+    # 3-D: horizontal accuracy metre-level, height within ~1.5 m.
+    assert results["three_d"]["median_xy_err"] < 4.0
+    assert results["three_d"]["median_z_err"] < 1.5

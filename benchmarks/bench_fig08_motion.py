@@ -1,0 +1,86 @@
+"""Fig. 8 / Sec. 5.2 — step and turn detection accuracy.
+
+The paper reports ~94.77 % step-based moving-distance accuracy and an
+average turn-angle error of 3.45°. We synthesise walks and L-turns, run the
+detectors, and assert: step counts track ground truth, distance accuracy
+stays above 85 %, and mean turn-angle error stays below 6° (both within
+striking distance of the paper on an independent gait model).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from helpers import print_series, run_experiment
+from repro.imu.sensors import ImuSynthesizer
+from repro.motion.deadreckoning import MotionTracker
+from repro.motion.stepcounter import StepDetector
+from repro.motion.steplength import walking_distance
+from repro.motion.turndetector import TurnDetector
+from repro.types import Vec2
+from repro.world.trajectory import l_shape, straight_walk
+
+N_SEEDS = 12
+
+
+def _experiment():
+    step_count_errors = []
+    distance_ratios = []
+    angle_errors_deg = []
+    for seed in range(N_SEEDS):
+        rng = np.random.default_rng(seed)
+        # Distance accuracy on straight walks of varying length.
+        length = 4.0 + 1.5 * (seed % 4)
+        walk = straight_walk(Vec2(0, 0), 0.0, length)
+        out = ImuSynthesizer(rng).synthesize(walk)
+        steps = StepDetector().detect(out.trace)
+        step_count_errors.append(abs(len(steps) - len(out.true_step_times)))
+        distance_ratios.append(walking_distance(steps) / length)
+
+        # Turn-angle accuracy on L-walks with varied turn angles.
+        angle = math.radians(70.0 + 10.0 * (seed % 5))
+        rng2 = np.random.default_rng(1000 + seed)
+        lwalk = l_shape(Vec2(0, 0), 0.0, turn_rad=angle)
+        lout = ImuSynthesizer(rng2).synthesize(lwalk)
+        turns = TurnDetector().detect(lout.trace)
+        if len(turns) == 1:
+            angle_errors_deg.append(
+                abs(math.degrees(turns[0].angle_rad) - math.degrees(angle))
+            )
+        else:
+            angle_errors_deg.append(90.0)  # detection failure counts hard
+
+    # End-to-end dead-reckoning endpoint error on the measurement L-walk.
+    endpoint_errors = []
+    for seed in range(N_SEEDS):
+        rng = np.random.default_rng(2000 + seed)
+        walk = l_shape(Vec2(0, 0), 0.0, leg1=2.8, leg2=2.2)
+        out = ImuSynthesizer(rng).synthesize(walk)
+        track = MotionTracker().track(out.trace)
+        true_end = walk.displacement_in_frame(walk.times[-1])
+        endpoint_errors.append(track.end_position.distance_to(true_end))
+
+    return {
+        "mean |step count error|": float(np.mean(step_count_errors)),
+        "distance accuracy": float(
+            1.0 - np.mean(np.abs(np.array(distance_ratios) - 1.0))
+        ),
+        "mean turn angle error (deg)": float(np.mean(angle_errors_deg)),
+        "mean DR endpoint error (m)": float(np.mean(endpoint_errors)),
+    }
+
+
+def test_fig08_motion_detection(benchmark):
+    m = run_experiment(benchmark, _experiment)
+    print_series("Fig. 8 — step & turn detection", m)
+    print_series(
+        "Fig. 8 — paper reference",
+        {"distance accuracy": 0.9477, "turn angle error (deg)": 3.45},
+    )
+
+    assert m["mean |step count error|"] <= 1.5
+    assert m["distance accuracy"] > 0.85
+    assert m["mean turn angle error (deg)"] < 6.0
+    assert m["mean DR endpoint error (m)"] < 0.8

@@ -1,0 +1,71 @@
+"""Fig. 12a — measurement accuracy vs target distance (outdoor lot).
+
+Eleven test points spaced 2.8 m apart, five repeats each: the paper finds
+~1 m accuracy within 5.6 m, < 3 m within 11.2 m, and a sharp degradation
+past 14 m (the log model flattens out; BLE proximity itself is only valid to
+~15 m). We sweep the same checkpoints in the outdoor scenario and assert the
+near/far shape and the degradation knee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from helpers import print_series, run_experiment
+from repro.core.pipeline import LocBLE
+from repro.errors import EstimationError, InsufficientDataError
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.trajectory import l_shape
+
+DISTANCES = [2.8, 5.6, 8.4, 11.2, 14.0]
+N_REPEATS = 5
+BEARING_RAD = math.radians(12.0)  # the user roughly faces the target
+
+
+def _experiment():
+    series = {}
+    for d in DISTANCES:
+        errs = []
+        for seed in range(N_REPEATS):
+            rng = np.random.default_rng(int(d * 100) + seed)
+            plan = Floorplan("lot", 30.0, 20.0, outdoor=True)
+            sim = Simulator(plan, rng)
+            start = Vec2(2.0, 8.0)
+            beacon = start + Vec2.from_polar(d, BEARING_RAD)
+            walk = l_shape(start, 0.0, leg1=2.8, leg2=2.2)
+            rec = sim.simulate(walk, [BeaconSpec("b", position=beacon)])
+            try:
+                est = LocBLE().estimate(rec.rssi_traces["b"],
+                                        rec.observer_imu.trace)
+                errs.append(est.error_to(rec.true_position_in_frame("b")))
+            except (EstimationError, InsufficientDataError):
+                errs.append(d)  # no estimate at all: count the full distance
+        series[d] = float(np.mean(errs))
+    return series
+
+
+def test_fig12a_distance_sweep(benchmark):
+    series = run_experiment(benchmark, _experiment)
+    print_series(
+        "Fig. 12a — mean error (m) vs target distance",
+        {f"{d:.1f} m": v for d, v in series.items()},
+    )
+    print_series(
+        "Fig. 12a — paper",
+        {"<= 5.6 m": "~1 m", "<= 11.2 m": "< 3 m", "> 14 m": "> 3.5 m"},
+    )
+
+    # Near range is metre-level.
+    assert series[2.8] < 2.0
+    assert series[5.6] < 2.0
+
+    # Error grows with distance; the far end is clearly degraded.
+    assert series[14.0] > series[5.6]
+    assert series[14.0] > 3.5
+
+    # The knee: within ~8.4 m errors stay moderate.
+    assert series[8.4] < series[14.0]

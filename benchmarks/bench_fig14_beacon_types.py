@@ -1,0 +1,55 @@
+"""Fig. 14 — does the BLE beacon type matter?
+
+Three common beacon targets — an iOS device acting as a beacon, a RadBeacon
+USB dongle and an Estimote — measured in environment #2. Dedicated beacons
+have "slight advantages over smart devices integrated beacons, as the chips
+in smart devices are built more compactly" (modelled as higher per-packet
+emission jitter), but the overall verdict is that LocBLE "doesn't depend on
+specific BLE devices".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers import measure_once, print_series, run_experiment
+from repro.ble.devices import BEACONS
+from repro.core.pipeline import LocBLE
+from repro.world.scenarios import scenario
+
+N_SEEDS = 8
+TYPES = ["ios_device", "radbeacon_usb", "estimote"]
+
+
+def _experiment():
+    sc = scenario(2)
+    rows = {}
+    for name in TYPES:
+        errs = []
+        for seed in range(N_SEEDS):
+            rec, pipeline = measure_once(
+                sc, 6000 + seed, beacon_profile=BEACONS[name]
+            )
+            est = pipeline.estimate(rec.rssi_traces["target"],
+                                    rec.observer_imu.trace)
+            errs.append(est.error_to(rec.true_position_in_frame("target")))
+        rows[name] = float(np.mean(errs))
+    return rows
+
+
+def test_fig14_beacon_types(benchmark):
+    rows = run_experiment(benchmark, _experiment)
+    print_series("Fig. 14 — mean error (m) by beacon type", rows)
+    print_series("Fig. 14 — paper",
+                 {"verdict": "dedicated beacons slightly better; no strong "
+                             "device dependence"})
+
+    # No strong device dependence: every type lands in the same band.
+    values = list(rows.values())
+    assert max(values) - min(values) < 1.5
+    assert max(values) < 4.0
+
+    # The dedicated beacons are not *worse* than the phone-integrated one
+    # (the paper's slight-advantage direction, asserted weakly).
+    dedicated_best = min(rows["estimote"], rows["radbeacon_usb"])
+    assert dedicated_best <= rows["ios_device"] + 0.5

@@ -1,0 +1,92 @@
+"""Fig. 15 — multi-beacon clustering calibration in blocked environments.
+
+In the labs (env #7, concrete in the path) and hall (env #8, construction),
+single-beacon accuracy "averages only 3 m"; clustering co-located beacons
+improves it monotonically with the cluster size, roughly halving the error
+by 6 beacons. We sweep 1 / 2 / 4 / 6 co-located beacons (0.3 m apart, the
+Fig. 9 spacing) and assert the improvement trend in both environments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from helpers import print_series, run_experiment
+from repro.core.calibration import ClusteringCalibrator
+from repro.core.estimator import EllipticalEstimator
+from repro.core.pipeline import LocBLE
+from repro.errors import EstimationError, InsufficientDataError
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.types import Vec2
+from repro.world.scenarios import scenario
+from repro.world.trajectory import l_shape
+
+CLUSTER_SIZES = [1, 2, 4, 6]
+N_SEEDS = 10
+
+
+def _cluster_errors(env_index: int, n_beacons: int) -> list:
+    sc = scenario(env_index)
+    pipeline_factory = lambda: LocBLE(
+        estimator=EllipticalEstimator().with_environment("NLOS")
+    )
+    errs = []
+    for seed in range(N_SEEDS):
+        rng = np.random.default_rng(env_index * 1000 + seed)
+        sim = Simulator(sc.floorplan, rng)
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                       leg1=2.8, leg2=2.2)
+        center = sc.beacon_position
+        beacons = [BeaconSpec("target", position=center)]
+        for k in range(n_beacons - 1):
+            offset = Vec2.from_polar(0.3, 2.0 * math.pi * k / max(n_beacons - 1, 1))
+            beacons.append(BeaconSpec(f"n{k}", position=center + offset))
+        rec = sim.simulate(walk, beacons)
+        truth = rec.true_position_in_frame("target")
+        try:
+            if n_beacons == 1:
+                est = pipeline_factory().estimate(
+                    rec.rssi_traces["target"], rec.observer_imu.trace)
+                errs.append(est.error_to(truth))
+            else:
+                cal = ClusteringCalibrator(pipeline_factory())
+                result = cal.calibrate("target", rec.rssi_traces,
+                                       rec.observer_imu.trace)
+                errs.append(result.error_to(truth))
+        except (EstimationError, InsufficientDataError):
+            errs.append(8.0)
+    return errs
+
+
+def _experiment():
+    out = {}
+    for env_index, name in ((7, "lab"), (8, "hall")):
+        out[name] = {
+            n: float(np.mean(_cluster_errors(env_index, n)))
+            for n in CLUSTER_SIZES
+        }
+    return out
+
+
+def test_fig15_clustering_calibration(benchmark):
+    results = run_experiment(benchmark, _experiment)
+    for name, series in results.items():
+        print_series(
+            f"Fig. 15 — {name}: mean error (m) vs cluster size",
+            {f"{n} beacons": v for n, v in series.items()},
+        )
+    print_series("Fig. 15 — paper",
+                 {"single": "~3 m", "6 beacons": "error roughly halved"})
+
+    for name, series in results.items():
+        # Clustering helps: 6 beacons beat the single-beacon baseline...
+        assert series[6] < series[1], f"{name}: no clustering gain"
+        # ...and the trend is broadly monotone (allow small inversions).
+        assert series[4] < series[1] + 0.3
+        assert series[6] <= series[2] + 0.3
+
+    # Aggregate improvement factor in the direction of the paper's ~2x.
+    gains = [series[1] / max(series[6], 1e-9) for series in results.values()]
+    assert float(np.mean(gains)) > 1.15

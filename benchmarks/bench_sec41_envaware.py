@@ -1,0 +1,69 @@
+"""Sec. 4.1 — EnvAware classification accuracy (the 94.7 % / 94.5 % claim).
+
+Rebuilds the paper's model-selection step: the 9-feature window vectors are
+fed to a linear SVM, a kernel SVM, a decision tree and a random forest; the
+paper reports the linear SVM winning its ensemble with 94.7 % precision and
+94.5 % recall on the three-class problem. On our synthetic channel the
+classes overlap more than in the authors' dataset, so we assert the shape:
+all classifiers well above chance (33 %), the linear SVM competitive with
+the ensemble's best, and precision/recall printed per model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers import print_series, run_experiment
+from repro.core.envaware import EnvAwareClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.kernels import MultiClassKernelSVM, rbf_kernel
+from repro.ml.metrics import accuracy, precision_recall_f1
+from repro.ml.svm import MultiClassSVM
+from repro.ml.tree import DecisionTreeClassifier
+from repro.sim.datasets import EnvDatasetBuilder
+
+
+def _experiment():
+    train_builder = EnvDatasetBuilder(np.random.default_rng(20170701))
+    train_w, train_y = train_builder.build(sessions_per_class=10)
+    test_builder = EnvDatasetBuilder(np.random.default_rng(20171212))
+    test_w, test_y = test_builder.build(sessions_per_class=5)
+    test_y = np.asarray(test_y)
+
+    candidates = {
+        "linear_svm": lambda: MultiClassSVM(epochs=60),
+        "rbf_svm": lambda: MultiClassKernelSVM(rbf_kernel(0.3)),
+        "decision_tree": lambda: DecisionTreeClassifier(),
+        "random_forest": lambda: RandomForestClassifier(n_trees=30),
+    }
+    results = {}
+    for name, factory in candidates.items():
+        clf = EnvAwareClassifier(classifier=factory()).fit(train_w, train_y)
+        pred = clf.predict(test_w)
+        m = precision_recall_f1(test_y, pred)
+        m["accuracy"] = accuracy(test_y, pred)
+        results[name] = m
+    return results
+
+
+def test_sec41_envaware_classifiers(benchmark):
+    results = run_experiment(benchmark, _experiment)
+
+    for name, m in results.items():
+        print_series(f"Sec. 4.1 — {name}", m)
+    print_series(
+        "Sec. 4.1 — paper reference",
+        {"precision": 0.947, "recall": 0.945, "note": "authors' dataset"},
+    )
+
+    # Every candidate beats chance on the 3-class problem by a wide margin.
+    for name, m in results.items():
+        assert m["accuracy"] > 0.6, f"{name} barely beats chance"
+
+    # The linear SVM — the paper's pick — is competitive with the best.
+    best = max(m["f1"] for m in results.values())
+    assert results["linear_svm"]["f1"] >= best - 0.08
+
+    # And it reaches solid absolute precision/recall on held-out data.
+    assert results["linear_svm"]["precision"] > 0.78
+    assert results["linear_svm"]["recall"] > 0.78

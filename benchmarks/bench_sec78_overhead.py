@@ -1,0 +1,67 @@
+"""Sec. 7.8 — system overhead: LocBLE vs the simple ranging app.
+
+The paper instruments the iOS app and finds LocBLE costs 14 % CPU / 12 %
+energy against Dartle's 11.3 % / 11 % — i.e. the full pipeline is only
+slightly more expensive than a trivial ranger. Energy cannot be measured in
+a simulation, so we use the reproducible part of the claim: the *compute*
+cost of processing one measurement. The shape to preserve: LocBLE costs
+more than the ranger, but by a small constant factor, and one measurement
+completes in interactive time (well under the 3–5 s walk it analyses).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from helpers import measure_once, print_series
+from repro.baselines.dartle import DartleRanger
+from repro.core.pipeline import LocBLE
+from repro.world.scenarios import scenario
+
+N_RUNS = 6
+
+
+def test_sec78_processing_overhead(benchmark):
+    sc = scenario(2)
+    sessions = [measure_once(sc, 7000 + seed)[0] for seed in range(N_RUNS)]
+
+    def locble_all():
+        pipeline = LocBLE()
+        for rec in sessions:
+            pipeline.estimate(rec.rssi_traces["target"],
+                              rec.observer_imu.trace)
+
+    def dartle_all():
+        ranger = DartleRanger()
+        for rec in sessions:
+            ranger.range_estimate(rec.rssi_traces["target"])
+
+    # Time the full LocBLE pipeline under pytest-benchmark...
+    benchmark.pedantic(locble_all, rounds=3, iterations=1)
+    locble_s = float(benchmark.stats["mean"]) / N_RUNS
+
+    # ...and the ranger with a plain timer (one benchmark fixture per test).
+    t0 = time.perf_counter()
+    for _ in range(3):
+        dartle_all()
+    dartle_s = (time.perf_counter() - t0) / (3 * N_RUNS)
+
+    ratio = locble_s / max(dartle_s, 1e-12)
+    print_series(
+        "Sec. 7.8 — per-measurement processing cost",
+        {
+            "LocBLE (s)": locble_s,
+            "Dartle ranger (s)": dartle_s,
+            "ratio": ratio,
+            "paper": "LocBLE 14 % CPU vs Dartle 11.3 % (app-level, incl. "
+                     "scanning); compute-only ratios differ by construction",
+        },
+    )
+
+    # LocBLE's estimate must complete in interactive time: far less than
+    # the 3-5 s the measurement walk itself takes.
+    assert locble_s < 1.5
+    # And the ranger is cheaper, as in the paper.
+    assert dartle_s < locble_s

@@ -1,0 +1,69 @@
+"""Table 1 — per-environment accuracy across the nine scenarios.
+
+The paper reports mean error with 75 %-confidence intervals per environment:
+best in the LOS meeting room (0.8 m), worst in the labs/hall (2.1–2.3 m),
+1.2 m outdoors, with two takeaways: LOS environments beat NLOS ones, and the
+blocked environments cluster together. We run LocBLE (EnvAware-informed
+priors via the true dominant class of each scenario) on every scenario and
+assert those orderings; absolute values are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers import dominant_env, print_series, run_experiment, stationary_errors
+from repro.types import EnvClass
+from repro.world.scenarios import scenario
+
+N_SEEDS = 6
+
+
+def _experiment():
+    rows = {}
+    for idx in range(1, 10):
+        sc = scenario(idx)
+        env = dominant_env(sc)
+        errs = stationary_errors(idx, range(N_SEEDS), env_prior=env)
+        rows[idx] = {
+            "name": sc.name,
+            "env": env,
+            "mean": float(np.mean(errs)),
+            "median": float(np.median(errs)),
+            "p75": float(np.percentile(errs, 75)),
+            "paper": sc.paper_accuracy_m,
+        }
+    return rows
+
+
+def test_table1_environments(benchmark):
+    rows = run_experiment(benchmark, _experiment)
+
+    for idx, r in rows.items():
+        print_series(
+            f"Table 1 — env #{idx} ({r['name']}, {r['env']})",
+            {"mean error (m)": r["mean"], "median": r["median"],
+             "p75": r["p75"], "paper mean (m)": r["paper"]},
+        )
+
+    los_envs = [idx for idx, r in rows.items() if r["env"] == EnvClass.LOS]
+    nlos_envs = [idx for idx, r in rows.items() if r["env"] == EnvClass.NLOS]
+
+    # Takeaway 1: LOS environments outperform NLOS ones on average.
+    los_mean = float(np.mean([rows[i]["median"] for i in los_envs]))
+    nlos_mean = float(np.mean([rows[i]["median"] for i in nlos_envs]))
+    print_series("Table 1 — class aggregate (median m)",
+                 {"LOS envs": los_mean, "NLOS envs": nlos_mean})
+    assert los_mean < nlos_mean
+
+    # The meeting room is the best indoor environment, as in the paper.
+    indoor_medians = {i: rows[i]["median"] for i in range(1, 9)}
+    assert min(indoor_medians, key=indoor_medians.get) == 1
+
+    # Meeting-room accuracy is ~1 m; labs/hall are the hardest (multi-metre).
+    assert rows[1]["median"] < 1.6
+    assert rows[7]["median"] > rows[1]["median"]
+    assert rows[8]["median"] > rows[1]["median"]
+
+    # The outdoor lot beats the NLOS indoor environments (paper: 1.2 m).
+    assert rows[9]["median"] < nlos_mean

@@ -1,0 +1,17 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.envaware import EnvAwareClassifier
+from repro.sim.datasets import EnvDatasetBuilder
+
+
+@pytest.fixture(scope="session")
+def trained_envaware() -> EnvAwareClassifier:
+    """EnvAware classifier trained once for all benches that need it."""
+    builder = EnvDatasetBuilder(np.random.default_rng(20170701))
+    windows, labels = builder.build(sessions_per_class=10)
+    return EnvAwareClassifier().fit(windows, labels)

@@ -1,0 +1,114 @@
+"""Shared machinery for the per-figure experiment benchmarks.
+
+Each bench regenerates one table or figure of the paper: it builds the
+workload, runs the system, prints the same rows/series the paper reports and
+asserts the qualitative *shape* (orderings, crossovers, rough factors). The
+pytest-benchmark fixture times one full experiment run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimator import EllipticalEstimator
+from repro.core.pipeline import LocBLE
+from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
+from repro.types import Vec2
+from repro.world.scenarios import Scenario, scenario
+from repro.world.trajectory import l_shape
+
+__all__ = [
+    "measure_once",
+    "stationary_errors",
+    "cdf_points",
+    "print_series",
+    "run_experiment",
+    "DEFAULT_LEGS",
+]
+
+#: Default L-walk legs used across experiments (4.5-5 m total, Sec. 7.6.2).
+DEFAULT_LEGS = (2.8, 2.2)
+
+
+def measure_once(
+    sc: Scenario,
+    seed: int,
+    pipeline: Optional[LocBLE] = None,
+    legs: Tuple[float, float] = DEFAULT_LEGS,
+    extra_beacons: int = 0,
+    beacon_profile=None,
+    interference: float = 0.0,
+) -> Tuple[MeasurementRecord, LocBLE]:
+    """Simulate one measurement session in scenario ``sc``."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator(sc.floorplan, rng, interference_loss_prob=interference)
+    walk = l_shape(
+        sc.observer_start, sc.observer_heading_rad, leg1=legs[0], leg2=legs[1]
+    )
+    kwargs = {} if beacon_profile is None else {"profile": beacon_profile}
+    beacons = [BeaconSpec("target", position=sc.beacon_position, **kwargs)]
+    for k in range(extra_beacons):
+        offset = Vec2.from_polar(0.3, 2.0 * math.pi * k / max(extra_beacons, 1))
+        beacons.append(
+            BeaconSpec(f"near{k}", position=sc.beacon_position + offset, **kwargs)
+        )
+    rec = sim.simulate(walk, beacons)
+    if pipeline is None:
+        pipeline = LocBLE()
+    return rec, pipeline
+
+
+def stationary_errors(
+    env_index: int,
+    seeds: range,
+    pipeline_factory=None,
+    env_prior: Optional[str] = None,
+    legs: Tuple[float, float] = DEFAULT_LEGS,
+) -> List[float]:
+    """Estimation errors for the scenario's default stationary target."""
+    sc = scenario(env_index)
+    errs: List[float] = []
+    for seed in seeds:
+        if pipeline_factory is not None:
+            pipeline = pipeline_factory()
+        elif env_prior is not None:
+            pipeline = LocBLE(
+                estimator=EllipticalEstimator().with_environment(env_prior)
+            )
+        else:
+            pipeline = LocBLE()
+        rec, pipeline = measure_once(sc, seed, pipeline=pipeline, legs=legs)
+        est = pipeline.estimate(rec.rssi_traces["target"], rec.observer_imu.trace)
+        errs.append(est.error_to(rec.true_position_in_frame("target")))
+    return errs
+
+
+def dominant_env(sc: Scenario) -> str:
+    """The link's environment class at the scenario's default geometry."""
+    return sc.floorplan.classify_link(sc.beacon_position, sc.observer_start).env_class
+
+
+def cdf_points(errors: List[float]) -> List[Tuple[float, float]]:
+    """(error, cumulative fraction) points of an empirical CDF."""
+    xs = sorted(errors)
+    n = len(xs)
+    return [(x, (i + 1) / n) for i, x in enumerate(xs)]
+
+
+def print_series(title: str, rows: Dict) -> None:
+    """Uniform key: value table output for bench logs."""
+    print(f"\n=== {title} ===")
+    for k, v in rows.items():
+        if isinstance(v, float):
+            print(f"  {k}: {v:.3f}")
+        else:
+            print(f"  {k}: {v}")
+
+
+def run_experiment(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark timing and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Deployment planning: link budgets, coverage maps, and the survey question.
+
+Before fitting a store with beacons, an integrator wants to know: how far
+will each beacon be heard through the racks, which shelf spots are covered,
+and is a fingerprint site-survey worth its cost against LocBLE's
+survey-free measurement? This example answers all three with the library's
+analysis tools and baselines.
+
+Run:  python examples/deployment_planning.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import BeaconSpec, LocBLE, Simulator, Vec2, l_shape
+from repro.analysis import CoverageMap, LinkBudget
+from repro.baselines.fingerprint import DistanceFingerprint, FingerprintLocator
+from repro.ble.devices import BEACONS
+from repro.motion import MotionTracker
+from repro.types import EnvClass
+from repro.world.builder import store_layout
+from repro.world.trajectory import random_waypoint_walk
+
+
+def main(seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    plan = store_layout(width=12.0, depth=10.0, n_aisles=3)
+    beacon_pos = Vec2(6.0, 3.2)  # on the first rack row's far side
+
+    # --- 1. Link budget: how far can this shelf beacon be heard? ----------
+    print("--- Link budget ---")
+    for name in ("estimote", "ble5_longrange"):
+        lb = LinkBudget(BEACONS[name], env_class=EnvClass.NLOS,
+                        excess_loss_db=7.0)  # one rack in the way
+        print(f"{name:16s}: max reliable range {lb.max_range_m():5.1f} m "
+              f"(margin at 6 m: {lb.margin_db(6.0):.0f} dB)")
+
+    # --- 2. Coverage map over the store floor ------------------------------
+    cm = CoverageMap(plan, beacon_pos)
+    print(f"\n--- Coverage ({cm.coverage_fraction():.0%} of the floor) ---")
+    print(cm.ascii_map())
+
+    # --- 3. Survey-free LocBLE vs a surveyed fingerprint ------------------
+    print("\n--- LocBLE vs fingerprinting ---")
+    sim = Simulator(plan, rng)
+
+    # The integrator's calibration pass: a 10-leg walk with the beacon at a
+    # known position (this is the cost fingerprinting carries).
+    survey_walk = random_waypoint_walk(Vec2(2.0, 1.0), 10, rng,
+                                       bounds=(12.0, 10.0))
+    cal = sim.simulate(survey_walk, [BeaconSpec("cal", position=beacon_pos)])
+    cal_trace = cal.rssi_traces["cal"]
+    distances = [survey_walk.position_at(t).distance_to(beacon_pos)
+                 for t in cal_trace.timestamps()]
+    fingerprint = DistanceFingerprint().fit(distances, cal_trace.values())
+    print(f"survey walk: {survey_walk.total_length():.0f} m, "
+          f"{len(cal_trace)} calibration samples")
+
+    # A shopper's measurement of the same beacon.
+    walk = l_shape(Vec2(2.0, 1.0), 0.5, leg1=2.8, leg2=2.2)
+    rec = sim.simulate(walk, [BeaconSpec("item", position=beacon_pos)])
+    truth = rec.true_position_in_frame("item")
+
+    from repro.core.estimator import EllipticalEstimator
+
+    pipeline = LocBLE(
+        estimator=EllipticalEstimator().with_environment(EnvClass.NLOS))
+    locble = pipeline.estimate(rec.rssi_traces["item"],
+                               rec.observer_imu.trace)
+    track = MotionTracker().track(rec.observer_imu.trace)
+    positions = [track.displacement_at(t)
+                 for t in rec.rssi_traces["item"].timestamps()]
+    fp_est = FingerprintLocator(fingerprint).estimate(
+        positions, rec.rssi_traces["item"].values())
+
+    print(f"LocBLE (no survey)     : error "
+          f"{locble.error_to(truth):.2f} m")
+    print(f"fingerprint (surveyed) : error "
+          f"{fp_est.distance_to(truth):.2f} m")
+    print("\nLocBLE lands in the surveyed baseline's accuracy band without "
+          "the calibration walk — and keeps working after the racks are "
+          "rearranged, when the survey would need redoing.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

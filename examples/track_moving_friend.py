@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Track a moving target: locate a walking phone (Sec. 5 / Fig. 11b).
+
+Both users move: the observer walks the L-shaped measurement path while the
+target — a phone with its beacon function on — wanders off. The target
+streams its RSS/motion data back (the paper uses UPnP for this), the two
+dead-reckoned frames are reconciled through the magnetometers, and LocBLE
+estimates where the target *started* (the paper's moving-target metric).
+
+Run:  python examples/track_moving_friend.py [seed]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+
+from repro import BeaconSpec, LocBLE, Simulator, Vec2, l_shape, scenario
+from repro.ble.devices import BEACONS
+from repro.world.trajectory import straight_walk
+
+
+def main(seed: int = 2) -> None:
+    rng = np.random.default_rng(seed)
+    sc = scenario(9)  # the outdoor parking lot (the paper's test 1)
+    sim = Simulator(sc.floorplan, rng)
+
+    observer_start = Vec2(3.0, 3.0)
+    observer = l_shape(observer_start, math.radians(15.0),
+                       leg1=3.0, leg2=2.5)
+
+    friend_start = Vec2(9.5, 8.0)
+    friend = straight_walk(friend_start, math.radians(200.0), 2.5, speed=0.8)
+    print(f"Friend starts {observer_start.distance_to(friend_start):.1f} m "
+          f"away and walks {friend.total_length():.1f} m during the "
+          "measurement\n")
+
+    rec = sim.simulate(observer, [
+        BeaconSpec("friend-phone", trajectory=friend,
+                   profile=BEACONS["ios_device"])
+    ])
+
+    # The target's IMU trace is what their phone would transmit over.
+    estimate = LocBLE().estimate(
+        rec.rssi_traces["friend-phone"],
+        rec.observer_imu.trace,
+        target_imu=rec.target_imu.trace,
+    )
+
+    truth = rec.true_position_in_frame("friend-phone")  # initial position
+    print("Moving-target estimate (scored at the friend's initial "
+          "location, as in the paper):")
+    print(f"  estimated: ({estimate.position.x:+.2f}, "
+          f"{estimate.position.y:+.2f})")
+    print(f"  truth    : ({truth.x:+.2f}, {truth.y:+.2f})")
+    print(f"  error    : {estimate.error_to(truth):.2f} m "
+          "(paper: < 2.5 m for > 50 % of runs)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2)

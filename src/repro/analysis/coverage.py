@@ -1,0 +1,97 @@
+"""Coverage maps: mean RSS and measurability over a floorplan grid.
+
+Answers "where in this room can the beacon be heard / located?" by
+evaluating the deterministic part of the channel (path loss + blocker
+insertion loss) on a grid. The measurability map additionally applies the
+link-budget fade margin, giving deployment planners the audible region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ble.devices import BEACONS, BeaconProfile
+from repro.ble.scanner import (
+    CODED_PHY_SENSITIVITY_GAIN_DB,
+    DEFAULT_SENSITIVITY_DBM,
+)
+from repro.channel.pathloss import ENV_EXPONENTS, rss_at
+from repro.errors import ConfigurationError
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+
+__all__ = ["CoverageMap"]
+
+
+@dataclass
+class CoverageMap:
+    """Grid evaluation of a beacon's coverage on a floorplan."""
+
+    floorplan: Floorplan
+    beacon_position: Vec2
+    profile: BeaconProfile = None
+    cell_m: float = 0.5
+    fade_margin_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = BEACONS["estimote"]
+        if self.cell_m <= 0:
+            raise ConfigurationError("cell_m must be positive")
+        if not self.floorplan.contains(self.beacon_position):
+            raise ConfigurationError("beacon must sit inside the floorplan")
+
+    def grid(self):
+        """(xs, ys) cell-centre coordinates."""
+        xs = np.arange(self.cell_m / 2, self.floorplan.width, self.cell_m)
+        ys = np.arange(self.cell_m / 2, self.floorplan.height, self.cell_m)
+        return xs, ys
+
+    def mean_rss_map(self, t: float = 0.0) -> np.ndarray:
+        """Mean RSS (dBm) per cell, shape (len(ys), len(xs)).
+
+        Uses the midpoint exponent of each cell's true link class, so walls
+        shadow the map exactly as they shadow the simulator.
+        """
+        xs, ys = self.grid()
+        out = np.empty((len(ys), len(xs)))
+        for j, y in enumerate(ys):
+            for i, x in enumerate(xs):
+                rx = Vec2(float(x), float(y))
+                state = self.floorplan.classify_link(
+                    self.beacon_position, rx, t)
+                lo, hi = ENV_EXPONENTS[state.env_class]
+                n = (lo + hi) / 2.0
+                out[j, i] = (rss_at(state.distance, self.profile.gamma_dbm, n)
+                             - state.excess_loss_db)
+        return out
+
+    def measurable_map(self, t: float = 0.0) -> np.ndarray:
+        """Boolean map: does the link close with the fade margin?"""
+        sensitivity = DEFAULT_SENSITIVITY_DBM
+        if self.profile.coded_phy:
+            sensitivity -= CODED_PHY_SENSITIVITY_GAIN_DB
+        return self.mean_rss_map(t) >= sensitivity + self.fade_margin_db
+
+    def coverage_fraction(self, t: float = 0.0) -> float:
+        """Fraction of the floorplan where the beacon is measurable."""
+        m = self.measurable_map(t)
+        return float(np.mean(m))
+
+    def ascii_map(self, t: float = 0.0) -> str:
+        """A terminal-friendly rendering: '#' covered, '.' not, 'B' beacon."""
+        xs, ys = self.grid()
+        m = self.measurable_map(t)
+        bi = int(np.argmin(np.abs(xs - self.beacon_position.x)))
+        bj = int(np.argmin(np.abs(ys - self.beacon_position.y)))
+        rows = []
+        for j in range(len(ys) - 1, -1, -1):  # north up
+            row = "".join(
+                "B" if (i == bi and j == bj) else ("#" if m[j, i] else ".")
+                for i in range(len(xs))
+            )
+            rows.append(row)
+        return "\n".join(rows)

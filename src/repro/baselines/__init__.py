@@ -1,0 +1,12 @@
+"""Comparison baselines: Dartle-style ranging, proximity zones, trilateration."""
+
+from repro.baselines.dartle import DartleRanger
+from repro.baselines.fingerprint import DistanceFingerprint, FingerprintLocator
+from repro.baselines.proximity import ProximityEstimator, ProximityZone
+from repro.baselines.trilateration import WalkTrilaterator, trilaterate
+
+__all__ = [
+    "DartleRanger", "DistanceFingerprint", "FingerprintLocator",
+    "ProximityEstimator", "ProximityZone",
+    "WalkTrilaterator", "trilaterate",
+]

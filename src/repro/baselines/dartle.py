@@ -1,0 +1,61 @@
+"""Fixed-parameter log-model ranging — the Dartle-style baseline (Sec. 7.4.1).
+
+Ranging apps like Dartle [35] invert the log-distance model with *constant*
+calibration parameters (the beacon's advertised measured power and a nominal
+indoor exponent). They output a 1-D range, not a position; the paper
+compares LocBLE's absolute-distance error against this class of app and
+reports ~30 % improvement, attributing the gap to LocBLE estimating the
+parameter set instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.pathloss import distance_for_rss
+from repro.errors import InsufficientDataError
+from repro.types import RssiTrace
+
+__all__ = ["DartleRanger"]
+
+
+@dataclass
+class DartleRanger:
+    """Range estimator with fixed (Γ, n) calibration constants.
+
+    ``gamma_dbm`` defaults to the iBeacon nominal measured power; ``n`` to
+    the generic indoor exponent. ``smoothing_window`` applies the simple
+    moving-average smoothing such apps use.
+    """
+
+    gamma_dbm: float = -59.0
+    n: float = 2.0
+    smoothing_window: int = 5
+
+    def range_estimate(self, trace: RssiTrace) -> float:
+        """Estimated range (m) from the most recent smoothed RSS reading."""
+        if len(trace) < 1:
+            raise InsufficientDataError("empty trace")
+        vals = trace.values()
+        w = min(self.smoothing_window, len(vals))
+        recent = float(np.mean(vals[-w:]))
+        return distance_for_rss(recent, self.gamma_dbm, self.n)
+
+    def range_series(self, trace: RssiTrace) -> np.ndarray:
+        """Running range estimate at every sample (running-mean smoothing)."""
+        if len(trace) < 1:
+            raise InsufficientDataError("empty trace")
+        vals = trace.values()
+        out = np.empty(len(vals))
+        for i in range(len(vals)):
+            lo = max(0, i - self.smoothing_window + 1)
+            out[i] = distance_for_rss(
+                float(np.mean(vals[lo : i + 1])), self.gamma_dbm, self.n
+            )
+        return out
+
+    def range_error(self, trace: RssiTrace, true_distance: float) -> float:
+        """Absolute ranging error against ground truth — the Fig. 11a metric."""
+        return abs(self.range_estimate(trace) - true_distance)

@@ -1,0 +1,109 @@
+"""RSS fingerprinting baseline (the RADAR [43] / Horus [44] family).
+
+The related-work section contrasts LocBLE with classic RSS localisation
+systems that require an *offline site survey*: record the beacon's RSS at
+known grid points, then locate by matching live readings against the map
+(weighted k-nearest neighbours in signal space). This baseline makes the
+trade-off measurable: with a fresh survey it can be accurate, but it costs a
+calibration pass per deployment and decays when the environment changes —
+exactly the infrastructure burden LocBLE exists to avoid.
+
+Note the role reversal versus the usual indoor-positioning setup: here the
+*beacon* is the unknown and the surveyor moves. Surveying records, at each
+known surveyor position, the RSS received from the beacon; locating a
+beacon then means finding which *survey positions* the live walk's readings
+resemble... which localises the observer, not the beacon. To locate the
+beacon instead, the survey is keyed by the *relative* geometry: we store
+(distance, RSS) statistics and invert per-reading distances, then
+trilaterate from the walk positions — the strongest fingerprint-style
+comparator that exists for this problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.trilateration import trilaterate
+from repro.filters.smoothing import moving_average
+from repro.errors import EstimationError, InsufficientDataError, NotFittedError
+from repro.types import Vec2
+
+__all__ = ["DistanceFingerprint", "FingerprintLocator"]
+
+
+@dataclass
+class DistanceFingerprint:
+    """The site survey: an empirical RSS→distance curve for one deployment.
+
+    ``fit`` consumes (distance, RSS) calibration pairs gathered by walking
+    the deployment with the beacon at a known spot; ``invert`` maps a live
+    RSS reading to a distance by interpolating the survey (robust to any
+    path-loss shape, unlike a parametric Γ/n fit — that is fingerprinting's
+    advantage, bought with the survey).
+    """
+
+    smooth_bins: int = 18
+    _rss_grid: Optional[np.ndarray] = field(default=None, init=False)
+    _dist_grid: Optional[np.ndarray] = field(default=None, init=False)
+
+    def fit(self, distances_m: Sequence[float],
+            rss_dbm: Sequence[float]) -> "DistanceFingerprint":
+        d = np.asarray(distances_m, dtype=float)
+        r = np.asarray(rss_dbm, dtype=float)
+        if d.shape != r.shape or d.ndim != 1:
+            raise EstimationError("distances and rss must be aligned 1-D")
+        if len(d) < self.smooth_bins:
+            raise InsufficientDataError(
+                f"survey needs >= {self.smooth_bins} calibration pairs")
+        # Bin by RSS and take median distance per bin -> a monotone-ish
+        # empirical inverse curve.
+        order = np.argsort(r)
+        r_sorted, d_sorted = r[order], d[order]
+        edges = np.linspace(0, len(r_sorted), self.smooth_bins + 1).astype(int)
+        rss_grid, dist_grid = [], []
+        for a, b in zip(edges, edges[1:]):
+            if b - a < 1:
+                continue
+            rss_grid.append(float(np.median(r_sorted[a:b])))
+            dist_grid.append(float(np.median(d_sorted[a:b])))
+        grid = sorted(zip(rss_grid, dist_grid))
+        self._rss_grid = np.array([g[0] for g in grid])
+        self._dist_grid = np.array([g[1] for g in grid])
+        return self
+
+    def invert(self, rss_dbm: float) -> float:
+        """Distance estimate for one live RSS reading."""
+        if self._rss_grid is None:
+            raise NotFittedError("DistanceFingerprint.fit must run first")
+        return float(np.interp(rss_dbm, self._rss_grid, self._dist_grid))
+
+
+@dataclass
+class FingerprintLocator:
+    """Locate a beacon from a walk using a surveyed RSS→distance curve.
+
+    Picks ``n_anchors`` spread points of the walk, inverts each smoothed
+    RSS reading to a distance through the survey, and trilaterates.
+    """
+
+    fingerprint: DistanceFingerprint
+    n_anchors: int = 6
+    smooth_window: int = 5
+
+    def estimate(self, positions: List[Vec2],
+                 rss: Sequence[float]) -> Vec2:
+        if len(positions) != len(rss):
+            raise EstimationError("positions and rss must align")
+        if len(positions) < max(self.n_anchors, 3):
+            raise InsufficientDataError(
+                f"need >= {max(self.n_anchors, 3)} samples")
+        rss = np.asarray(rss, dtype=float)
+        # Light smoothing before inversion (edge-shrinking, no zero pad).
+        smoothed = moving_average(rss, min(self.smooth_window, len(rss)))
+        idx = np.linspace(0, len(positions) - 1, self.n_anchors).astype(int)
+        anchors = [positions[i] for i in idx]
+        ranges = [self.fingerprint.invert(float(smoothed[i])) for i in idx]
+        return trilaterate(anchors, ranges)

@@ -1,0 +1,75 @@
+"""iBeacon-style 4-zone proximity classification (the status quo, Sec. 1).
+
+Existing beacon apps expose "1-dimensional, four proximity zones (immediate,
+near, far, and unknown)" — the coarse feature LocBLE improves on. The zone
+thresholds follow the conventional iBeacon ranging bands. Also provides the
+short-range proximity distance estimate the last-metre extension uses
+(Sec. 9.2: "Bluetooth proximity actually demonstrates fairly good accuracy
+within 2 m").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.pathloss import distance_for_rss
+from repro.errors import InsufficientDataError
+from repro.types import RssiTrace
+
+__all__ = ["ProximityZone", "ProximityEstimator"]
+
+
+class ProximityZone:
+    """The four iBeacon proximity zones."""
+
+    IMMEDIATE = "immediate"  # < 0.5 m
+    NEAR = "near"            # 0.5 – 3 m
+    FAR = "far"              # 3 m – edge of coverage
+    UNKNOWN = "unknown"      # no usable signal
+
+    ALL = (IMMEDIATE, NEAR, FAR, UNKNOWN)
+
+
+@dataclass
+class ProximityEstimator:
+    """Zone classifier + short-range distance estimator."""
+
+    gamma_dbm: float = -59.0
+    n: float = 2.0
+    immediate_threshold_m: float = 0.5
+    near_threshold_m: float = 3.0
+    unknown_floor_dbm: float = -95.0
+    smoothing_window: int = 8
+
+    def _smoothed_rss(self, trace: RssiTrace) -> Optional[float]:
+        if len(trace) == 0:
+            return None
+        vals = trace.values()
+        w = min(self.smoothing_window, len(vals))
+        return float(np.mean(vals[-w:]))
+
+    def zone(self, trace: RssiTrace) -> str:
+        """Classify the latest readings into a proximity zone."""
+        rss = self._smoothed_rss(trace)
+        if rss is None or rss < self.unknown_floor_dbm:
+            return ProximityZone.UNKNOWN
+        d = distance_for_rss(rss, self.gamma_dbm, self.n)
+        if d < self.immediate_threshold_m:
+            return ProximityZone.IMMEDIATE
+        if d < self.near_threshold_m:
+            return ProximityZone.NEAR
+        return ProximityZone.FAR
+
+    def short_range_distance(self, trace: RssiTrace) -> float:
+        """Distance estimate intended for the < 2 m regime.
+
+        At short range the log model is steep in RSS, so inversion is
+        comparatively accurate — the basis of the last-metre snap.
+        """
+        rss = self._smoothed_rss(trace)
+        if rss is None:
+            raise InsufficientDataError("empty trace")
+        return distance_for_rss(rss, self.gamma_dbm, self.n)

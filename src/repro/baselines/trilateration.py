@@ -1,0 +1,80 @@
+"""Classic multi-anchor trilateration — a reference point outside the paper.
+
+LocBLE's whole premise is locating a beacon with a *single* phone and no
+anchors. For experiments that want an upper-reference (what infrastructure
+would buy you), this baseline solves the standard linearised trilateration
+from several known observer positions with per-position range estimates —
+equivalent to treating sampled points of the walk as anchors with the
+fixed-parameter ranger attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError, InsufficientDataError
+from repro.types import Vec2
+
+__all__ = ["trilaterate", "WalkTrilaterator"]
+
+
+def trilaterate(anchors: Sequence[Vec2], ranges: Sequence[float]) -> Vec2:
+    """Least-squares position from >= 3 anchors with measured ranges.
+
+    Uses the standard linearisation against the first anchor:
+    subtracting the first range equation from the others removes the
+    quadratic unknowns.
+    """
+    if len(anchors) != len(ranges):
+        raise EstimationError("anchors and ranges must align")
+    if len(anchors) < 3:
+        raise InsufficientDataError("trilateration needs >= 3 anchors")
+    a0 = anchors[0]
+    r0 = ranges[0]
+    rows = []
+    rhs = []
+    for a, r in zip(anchors[1:], ranges[1:]):
+        rows.append([2.0 * (a.x - a0.x), 2.0 * (a.y - a0.y)])
+        rhs.append(
+            r0 * r0 - r * r + a.x * a.x - a0.x * a0.x + a.y * a.y - a0.y * a0.y
+        )
+    design = np.asarray(rows, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if np.linalg.matrix_rank(design) < 2:
+        raise EstimationError("anchors are collinear; position is ambiguous "
+                              "perpendicular to the line")
+    sol, *_ = np.linalg.lstsq(design, rhs, rcond=None)
+    return Vec2(float(sol[0]), float(sol[1]))
+
+
+@dataclass
+class WalkTrilaterator:
+    """Trilateration over sampled walk positions with log-model ranges."""
+
+    gamma_dbm: float = -59.0
+    n: float = 2.0
+    n_anchors: int = 5
+
+    def estimate(
+        self, positions: List[Vec2], rss: Sequence[float]
+    ) -> Vec2:
+        """Pick spread anchors along the walk and trilaterate.
+
+        ``positions`` are measurement-frame observer positions aligned with
+        the ``rss`` readings.
+        """
+        if len(positions) != len(rss):
+            raise EstimationError("positions and rss must align")
+        if len(positions) < self.n_anchors:
+            raise InsufficientDataError(
+                f"need >= {self.n_anchors} samples, got {len(positions)}"
+            )
+        idx = np.linspace(0, len(positions) - 1, self.n_anchors).astype(int)
+        anchors = [positions[i] for i in idx]
+        ranges = [
+            10.0 ** ((self.gamma_dbm - rss[i]) / (10.0 * self.n)) for i in idx
+        ]
+        return trilaterate(anchors, ranges)

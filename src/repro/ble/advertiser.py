@@ -1,0 +1,65 @@
+"""Advertising schedule: when each advertisement goes out, on which channel.
+
+A beacon broadcasts one advertising *event* per interval; within an event the
+packet is sent on channels 37, 38, 39 in sequence. The BLE spec adds a random
+0–10 ms ``advDelay`` per event to avoid persistent collisions. A scanner only
+listens on one channel at a time, so per reception we model one (time,
+channel) draw per event; the hop sequence rotates which channel the scanner
+catches — the source of frequency-selective jitter in raw traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.ble.devices import BeaconProfile
+from repro.errors import ConfigurationError
+
+__all__ = ["AdvertisingEvent", "Advertiser"]
+
+_HOP_SEQUENCE = (37, 38, 39)
+_ADV_DELAY_MAX_S = 0.010  # BLE spec advDelay: uniform 0–10 ms
+
+
+@dataclass(frozen=True)
+class AdvertisingEvent:
+    """One advertising event: timestamp and the channel a scanner receives on."""
+
+    timestamp: float
+    channel: int
+    event_index: int
+
+
+@dataclass
+class Advertiser:
+    """Generates a beacon's advertising events over a time span."""
+
+    profile: BeaconProfile
+    rng: np.random.Generator
+
+    @property
+    def interval_s(self) -> float:
+        return 1.0 / self.profile.advertising_hz
+
+    def events(self, t_start: float, t_end: float) -> List[AdvertisingEvent]:
+        """All advertising events in [t_start, t_end)."""
+        if t_end <= t_start:
+            raise ConfigurationError("t_end must exceed t_start")
+        out: List[AdvertisingEvent] = []
+        t = t_start
+        i = 0
+        while t < t_end:
+            jitter = float(self.rng.uniform(0.0, _ADV_DELAY_MAX_S))
+            ts = t + jitter
+            if ts < t_end:
+                # The scanner dwells on one advertising channel per scan
+                # window; rotating through the hop sequence reproduces which
+                # channel each reception lands on.
+                channel = _HOP_SEQUENCE[i % len(_HOP_SEQUENCE)]
+                out.append(AdvertisingEvent(ts, channel, i))
+            t += self.interval_s
+            i += 1
+        return out

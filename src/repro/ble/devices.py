@@ -1,0 +1,88 @@
+"""Hardware profiles for the phones and beacons the paper evaluates.
+
+Phones differ in BLE *sampling rate* (the paper measured 9 Hz on iPhone 6s,
+8 Hz on Nexus 6P) and in chipset RSS offset (Fig. 2's vertical shifts).
+Beacons differ in reference power and antenna quality — the paper found
+dedicated beacons (RadBeacon, Estimote) slightly better targets than
+smartphone-integrated beacons (Fig. 14) because phone antennas are more
+compactly packed, which we model as extra per-packet emission jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PhoneProfile", "BeaconProfile", "PHONES", "BEACONS"]
+
+
+@dataclass(frozen=True)
+class PhoneProfile:
+    """Observer device: how it scans and how its chipset distorts RSS."""
+
+    name: str
+    sampling_hz: float
+    rx_offset_db: float
+    rx_jitter_std_db: float
+
+    def __post_init__(self) -> None:
+        if self.sampling_hz <= 0:
+            raise ConfigurationError("sampling_hz must be positive")
+
+
+@dataclass(frozen=True)
+class BeaconProfile:
+    """Target device: reference power and emission stability.
+
+    ``gamma_dbm`` is the mean received power at 1 m from this hardware;
+    ``tx_jitter_std_db`` models packet-to-packet emission variation (worse on
+    phone-integrated radios); ``advertising_hz`` is the broadcast rate — the
+    paper configured all beacons to 10 Hz. ``ble_version`` is 4 for legacy
+    advertising or 5 for the extended advertising of Bluetooth 5 (Sec. 9.3:
+    "wider coverage ... will enhance LocBLE's performance while keeping it
+    still compatible"): a Class-1 BLE 5 beacon may transmit up to 100 mW
+    (+10 dB on the legacy cap) and the coded PHY buys receiver sensitivity.
+    """
+
+    name: str
+    gamma_dbm: float
+    tx_jitter_std_db: float
+    advertising_hz: float = 10.0
+    connectable: bool = False
+    ble_version: int = 4
+    coded_phy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.advertising_hz <= 0:
+            raise ConfigurationError("advertising_hz must be positive")
+
+
+PHONES: Dict[str, PhoneProfile] = {
+    "iphone_5s": PhoneProfile("iphone_5s", sampling_hz=9.0, rx_offset_db=0.0,
+                              rx_jitter_std_db=1.2),
+    "iphone_6s": PhoneProfile("iphone_6s", sampling_hz=9.0, rx_offset_db=-1.5,
+                              rx_jitter_std_db=1.0),
+    "nexus_5x": PhoneProfile("nexus_5x", sampling_hz=8.0, rx_offset_db=-6.0,
+                             rx_jitter_std_db=1.5),
+    "nexus_6": PhoneProfile("nexus_6", sampling_hz=8.0, rx_offset_db=4.0,
+                            rx_jitter_std_db=1.5),
+    "nexus_6p": PhoneProfile("nexus_6p", sampling_hz=8.0, rx_offset_db=2.0,
+                             rx_jitter_std_db=1.3),
+}
+
+BEACONS: Dict[str, BeaconProfile] = {
+    # Dedicated beacons: clean antennas, stable emission.
+    "estimote": BeaconProfile("estimote", gamma_dbm=-58.0, tx_jitter_std_db=0.8),
+    "radbeacon_usb": BeaconProfile("radbeacon_usb", gamma_dbm=-60.0,
+                                   tx_jitter_std_db=0.9),
+    # Smartphone acting as a beacon: compact antenna, noisier emission.
+    "ios_device": BeaconProfile("ios_device", gamma_dbm=-61.0,
+                                tx_jitter_std_db=1.6),
+    # Bluetooth 5 Class-1 beacon: +10 dB Tx over the BLE 4 cap, and the
+    # long-range coded PHY (receivers decode ~5 dB deeper).
+    "ble5_longrange": BeaconProfile("ble5_longrange", gamma_dbm=-49.0,
+                                    tx_jitter_std_db=0.8, ble_version=5,
+                                    coded_phy=True),
+}

@@ -1,0 +1,258 @@
+"""BLE advertising PDU encoding/decoding for the three beacon formats.
+
+Implements the over-the-air layout of the advertising-channel PDU header
+(whose first 4 bits carry the PDU type — how the paper distinguishes
+connectable from non-connectable beacons, Sec. 2.2) and the manufacturer /
+service-data payloads of Apple iBeacon, Google Eddystone-UID and AltBeacon.
+
+The rest of the library identifies beacons by an opaque string id; this
+module exists so traces can be generated from *real* packet bytes end-to-end
+and so the beacon-type experiment (Fig. 14) manipulates genuine formats.
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid as uuid_mod
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional, Tuple, Union
+
+from repro.errors import PacketError
+
+__all__ = [
+    "PduType",
+    "AdvertisingPdu",
+    "IBeaconPayload",
+    "EddystoneUidPayload",
+    "AltBeaconPayload",
+    "decode_beacon_payload",
+    "iter_ad_structures",
+]
+
+_APPLE_COMPANY_ID = 0x004C
+_RADIUS_COMPANY_ID = 0x0118
+_EDDYSTONE_SERVICE_UUID = 0xFEAA
+
+
+class PduType(IntEnum):
+    """Advertising-channel PDU types (BLE spec Vol 6 Part B 2.3)."""
+
+    ADV_IND = 0x0  # connectable undirected
+    ADV_DIRECT_IND = 0x1
+    ADV_NONCONN_IND = 0x2  # non-connectable — what proximity beacons use
+    SCAN_REQ = 0x3
+    SCAN_RSP = 0x4
+    CONNECT_REQ = 0x5
+    ADV_SCAN_IND = 0x6
+    ADV_EXT_IND = 0x7  # Bluetooth 5 extended advertising
+
+
+@dataclass(frozen=True)
+class AdvertisingPdu:
+    """An advertising PDU: 2-byte header + AdvA (6 bytes) + AdvData.
+
+    Header byte 0: PDU type in bits 0–3, TxAdd in bit 6. Header byte 1:
+    payload length. This mirrors the layout the paper points readers at
+    (BLE spec p. 2567).
+    """
+
+    pdu_type: PduType
+    adv_address: bytes
+    adv_data: bytes
+    tx_add_random: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.adv_address) != 6:
+            raise PacketError("AdvA must be 6 bytes")
+        if len(self.adv_data) > 31:
+            raise PacketError("legacy advertising data is limited to 31 bytes")
+
+    @property
+    def connectable(self) -> bool:
+        """True for PDU types that accept connections (Sec. 2.2).
+
+        ADV_EXT_IND (Bluetooth 5) carries its connectability in the extended
+        header's AdvMode; this library models only the non-connectable
+        broadcast mode proximity beacons use, so it reports False here.
+        """
+        return self.pdu_type in (PduType.ADV_IND, PduType.ADV_DIRECT_IND)
+
+    def encode(self) -> bytes:
+        header0 = int(self.pdu_type) & 0x0F
+        if self.tx_add_random:
+            header0 |= 0x40
+        payload = self.adv_address + self.adv_data
+        return bytes([header0, len(payload)]) + payload
+
+    @staticmethod
+    def decode(raw: bytes) -> "AdvertisingPdu":
+        if len(raw) < 8:
+            raise PacketError("PDU too short for header + AdvA")
+        pdu_type = PduType(raw[0] & 0x0F)
+        tx_add = bool(raw[0] & 0x40)
+        length = raw[1]
+        payload = raw[2:]
+        if len(payload) != length:
+            raise PacketError(
+                f"length field {length} does not match payload {len(payload)}"
+            )
+        return AdvertisingPdu(
+            pdu_type=pdu_type,
+            adv_address=payload[:6],
+            adv_data=payload[6:],
+            tx_add_random=tx_add,
+        )
+
+
+@dataclass(frozen=True)
+class IBeaconPayload:
+    """Apple iBeacon: proximity UUID + major/minor + measured power at 1 m."""
+
+    proximity_uuid: uuid_mod.UUID
+    major: int
+    minor: int
+    measured_power: int  # signed dBm at 1 m
+
+    def beacon_id(self) -> str:
+        return f"ibeacon:{self.proximity_uuid}:{self.major}:{self.minor}"
+
+    def encode(self) -> bytes:
+        if not (0 <= self.major <= 0xFFFF and 0 <= self.minor <= 0xFFFF):
+            raise PacketError("major/minor must fit in 16 bits")
+        body = struct.pack(
+            ">16sHHb",
+            self.proximity_uuid.bytes,
+            self.major,
+            self.minor,
+            self.measured_power,
+        )
+        mfg = struct.pack("<H", _APPLE_COMPANY_ID) + bytes([0x02, 0x15]) + body
+        # AD structures: flags + manufacturer-specific data.
+        flags = bytes([0x02, 0x01, 0x06])
+        return flags + bytes([len(mfg) + 1, 0xFF]) + mfg
+
+    @staticmethod
+    def decode(adv_data: bytes) -> "IBeaconPayload":
+        mfg = _find_ad_structure(adv_data, 0xFF)
+        if mfg is None or len(mfg) < 25:
+            raise PacketError("no iBeacon manufacturer data found")
+        company = struct.unpack_from("<H", mfg, 0)[0]
+        if company != _APPLE_COMPANY_ID or mfg[2] != 0x02 or mfg[3] != 0x15:
+            raise PacketError("not an iBeacon frame")
+        raw_uuid, major, minor, power = struct.unpack_from(">16sHHb", mfg, 4)
+        return IBeaconPayload(uuid_mod.UUID(bytes=raw_uuid), major, minor, power)
+
+
+@dataclass(frozen=True)
+class EddystoneUidPayload:
+    """Google Eddystone-UID: 10-byte namespace + 6-byte instance + Tx at 0 m."""
+
+    namespace: bytes
+    instance: bytes
+    tx_power_0m: int
+
+    def beacon_id(self) -> str:
+        return f"eddystone:{self.namespace.hex()}:{self.instance.hex()}"
+
+    def encode(self) -> bytes:
+        if len(self.namespace) != 10 or len(self.instance) != 6:
+            raise PacketError("Eddystone UID needs 10-byte namespace, 6-byte instance")
+        svc_uuid = struct.pack("<H", _EDDYSTONE_SERVICE_UUID)
+        frame = bytes([0x00, self.tx_power_0m & 0xFF]) + self.namespace + self.instance
+        flags = bytes([0x02, 0x01, 0x06])
+        uuid_list = bytes([0x03, 0x03]) + svc_uuid
+        svc_data = bytes([len(frame) + 3, 0x16]) + svc_uuid + frame
+        return flags + uuid_list + svc_data
+
+    @staticmethod
+    def decode(adv_data: bytes) -> "EddystoneUidPayload":
+        svc = _find_ad_structure(adv_data, 0x16)
+        if svc is None or len(svc) < 4:
+            raise PacketError("no Eddystone service data found")
+        if struct.unpack_from("<H", svc, 0)[0] != _EDDYSTONE_SERVICE_UUID:
+            raise PacketError("service data is not Eddystone")
+        frame = svc[2:]
+        if frame[0] != 0x00 or len(frame) < 18:
+            raise PacketError("not an Eddystone-UID frame")
+        tx = struct.unpack_from("b", frame, 1)[0]
+        return EddystoneUidPayload(frame[2:12], frame[12:18], tx)
+
+
+@dataclass(frozen=True)
+class AltBeaconPayload:
+    """AltBeacon: 20-byte beacon id + reference RSS at 1 m."""
+
+    beacon_id_bytes: bytes
+    reference_rss: int
+    mfg_reserved: int = 0
+    company_id: int = _RADIUS_COMPANY_ID
+
+    def beacon_id(self) -> str:
+        return f"altbeacon:{self.beacon_id_bytes.hex()}"
+
+    def encode(self) -> bytes:
+        if len(self.beacon_id_bytes) != 20:
+            raise PacketError("AltBeacon id must be 20 bytes")
+        mfg = (
+            struct.pack("<H", self.company_id)
+            + bytes([0xBE, 0xAC])
+            + self.beacon_id_bytes
+            + struct.pack("b", self.reference_rss)
+            + bytes([self.mfg_reserved & 0xFF])
+        )
+        flags = bytes([0x02, 0x01, 0x06])
+        return flags + bytes([len(mfg) + 1, 0xFF]) + mfg
+
+    @staticmethod
+    def decode(adv_data: bytes) -> "AltBeaconPayload":
+        mfg = _find_ad_structure(adv_data, 0xFF)
+        if mfg is None or len(mfg) < 26:
+            raise PacketError("no AltBeacon manufacturer data found")
+        if mfg[2] != 0xBE or mfg[3] != 0xAC:
+            raise PacketError("not an AltBeacon frame")
+        company = struct.unpack_from("<H", mfg, 0)[0]
+        ident = mfg[4:24]
+        rss = struct.unpack_from("b", mfg, 24)[0]
+        reserved = mfg[25]
+        return AltBeaconPayload(ident, rss, reserved, company)
+
+
+BeaconPayload = Union[IBeaconPayload, EddystoneUidPayload, AltBeaconPayload]
+
+
+def decode_beacon_payload(adv_data: bytes) -> BeaconPayload:
+    """Decode any supported beacon payload, trying each format in turn."""
+    for decoder in (IBeaconPayload.decode, AltBeaconPayload.decode,
+                    EddystoneUidPayload.decode):
+        try:
+            return decoder(adv_data)
+        except PacketError:
+            continue
+    raise PacketError("advertising data matches no supported beacon format")
+
+
+def iter_ad_structures(adv_data: bytes):
+    """Yield (ad_type, body) for every AD structure in advertising data.
+
+    The generic walk over the length-type-value layout of BLE advertising
+    payloads (Core Spec Vol 3 Part C 11) — useful for inspecting frames
+    beyond the three beacon formats this module decodes natively.
+    """
+    i = 0
+    while i < len(adv_data):
+        length = adv_data[i]
+        if length == 0:
+            return
+        if i + 1 + length > len(adv_data):
+            raise PacketError("truncated AD structure")
+        yield adv_data[i + 1], adv_data[i + 2 : i + 1 + length]
+        i += 1 + length
+
+
+def _find_ad_structure(adv_data: bytes, ad_type: int) -> Optional[bytes]:
+    """Return the body of the first AD structure with the given type."""
+    for found_type, body in iter_ad_structures(adv_data):
+        if found_type == ad_type:
+            return body
+    return None

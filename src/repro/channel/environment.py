@@ -1,0 +1,93 @@
+"""Per-environment-class channel parameter presets.
+
+Gathers the knobs the other channel modules expose into one profile per
+LOS / P_LOS / NLOS class, plus a sampler that draws a concrete realisation
+(this deployment's exponent, shadowing sigma, ...) from the class ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.channel.fading import ENV_K_FACTOR_DB
+from repro.channel.pathloss import DEFAULT_GAMMA_DBM, ENV_EXPONENTS
+from repro.errors import ConfigurationError
+from repro.types import EnvClass
+
+__all__ = ["EnvProfile", "ENV_PROFILES", "realize_env"]
+
+
+@dataclass(frozen=True)
+class EnvProfile:
+    """Parameter ranges for one propagation class."""
+
+    env_class: str
+    n_range: Tuple[float, float]
+    shadow_sigma_range_db: Tuple[float, float]
+    shadow_corr_range_m: Tuple[float, float]
+    k_factor_db: float
+    fsf_amplitude_db: float
+
+
+ENV_PROFILES: Dict[str, EnvProfile] = {
+    EnvClass.LOS: EnvProfile(
+        EnvClass.LOS,
+        n_range=ENV_EXPONENTS[EnvClass.LOS],
+        shadow_sigma_range_db=(0.7, 1.5),
+        shadow_corr_range_m=(3.0, 5.0),
+        k_factor_db=ENV_K_FACTOR_DB[EnvClass.LOS],
+        fsf_amplitude_db=0.8,
+    ),
+    EnvClass.P_LOS: EnvProfile(
+        EnvClass.P_LOS,
+        n_range=ENV_EXPONENTS[EnvClass.P_LOS],
+        shadow_sigma_range_db=(1.5, 3.0),
+        shadow_corr_range_m=(2.5, 4.0),
+        k_factor_db=ENV_K_FACTOR_DB[EnvClass.P_LOS],
+        fsf_amplitude_db=2.0,
+    ),
+    EnvClass.NLOS: EnvProfile(
+        EnvClass.NLOS,
+        n_range=ENV_EXPONENTS[EnvClass.NLOS],
+        shadow_sigma_range_db=(2.5, 4.0),
+        shadow_corr_range_m=(2.5, 4.0),
+        k_factor_db=ENV_K_FACTOR_DB[EnvClass.NLOS],
+        fsf_amplitude_db=3.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class EnvRealization:
+    """One deployment's concrete channel parameters for a class."""
+
+    env_class: str
+    n: float
+    gamma_dbm: float
+    shadow_sigma_db: float
+    shadow_corr_m: float
+    k_factor_db: float
+    fsf_amplitude_db: float
+
+
+def realize_env(
+    env_class: str,
+    rng: np.random.Generator,
+    gamma_dbm: float = DEFAULT_GAMMA_DBM,
+) -> EnvRealization:
+    """Draw a concrete channel realisation for ``env_class``."""
+    if env_class not in ENV_PROFILES:
+        raise ConfigurationError(f"unknown environment class {env_class!r}")
+    p = ENV_PROFILES[env_class]
+    return EnvRealization(
+        env_class=env_class,
+        n=float(rng.uniform(*p.n_range)),
+        gamma_dbm=gamma_dbm,
+        shadow_sigma_db=float(rng.uniform(*p.shadow_sigma_range_db)),
+        shadow_corr_m=float(rng.uniform(*p.shadow_corr_range_m)),
+        k_factor_db=p.k_factor_db,
+        fsf_amplitude_db=p.fsf_amplitude_db,
+    )

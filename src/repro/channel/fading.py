@@ -1,0 +1,147 @@
+"""Small-scale fading: Rician/Rayleigh envelopes and per-channel selectivity.
+
+Two effects from Sec. 2.3 of the paper are modelled:
+
+* **Multipath (fast) fading** — the advertisement's envelope is Rician with a
+  K-factor set by the environment class (strong direct ray under LOS, pure
+  Rayleigh scatter under NLOS). Each received packet draws an envelope, so
+  raw RSS jitters packet-to-packet exactly as Fig. 2/4 show.
+* **Frequency-selective fading** — BLE advertising hops over channels 37/38/39
+  (2402/2426/2480 MHz). The multipath standing-wave pattern differs per
+  carrier, so each channel sees a different spatial fade pattern. We model
+  the per-channel offset as a sum of sinusoids in space with channel-specific
+  random phases — a deterministic, spatially smooth interference pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import EnvClass, Vec2
+
+__all__ = ["RicianFading", "FrequencySelectiveFading", "ENV_K_FACTOR_DB", "ADVERTISING_CHANNELS"]
+
+#: BLE advertising channels and their carrier frequencies (MHz).
+ADVERTISING_CHANNELS: Dict[int, float] = {37: 2402.0, 38: 2426.0, 39: 2480.0}
+
+#: Rician K-factor (dB) per environment class. LOS keeps a dominant ray;
+#: NLOS is Rayleigh (K → -inf; we use a deep value).
+ENV_K_FACTOR_DB: Dict[str, float] = {
+    EnvClass.LOS: 10.0,
+    EnvClass.P_LOS: 5.5,
+    EnvClass.NLOS: -40.0,
+}
+
+
+@dataclass
+class RicianFading:
+    """Rician envelope sampler, optionally with temporal coherence.
+
+    Returns the fade in dB relative to the mean power. The envelope is
+    ``|v + z|`` with a fixed LOS phasor ``v`` (power K/(K+1)) and complex
+    Gaussian scatter ``z`` (power 1/(K+1)), so the mean *power* is unity and
+    the dB fade has zero mean in the linear domain.
+
+    With ``coherence_time_s`` set, the scatter component evolves as a
+    complex Gauss–Markov process, so packets inside the channel's coherence
+    time see correlated fades — the "low channel coherence time due to user
+    movements" the paper's ANF discussion names (Sec. 4.3). At walking speed
+    the 2.4 GHz coherence time is roughly ``0.423 λ / v ≈ 50 ms``; ``None``
+    keeps the i.i.d.-per-packet behaviour.
+    """
+
+    k_factor_db: float
+    rng: np.random.Generator
+    coherence_time_s: Optional[float] = None
+    _scatter: complex = field(default=0j, init=False, repr=False)
+    _last_t: Optional[float] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.coherence_time_s is not None and self.coherence_time_s <= 0:
+            raise ConfigurationError("coherence_time_s must be positive")
+
+    def sample_db(self, t: Optional[float] = None) -> float:
+        """One envelope draw, in dB relative to mean power.
+
+        Pass the packet timestamp ``t`` to engage temporal coherence (no
+        effect when ``coherence_time_s`` is None).
+        """
+        k = 10.0 ** (self.k_factor_db / 10.0)
+        los_amp = math.sqrt(k / (k + 1.0))
+        scatter_std = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+        if self.coherence_time_s is None or t is None:
+            re_s = self.rng.normal(0.0, scatter_std)
+            im_s = self.rng.normal(0.0, scatter_std)
+        else:
+            if self._last_t is None:
+                self._scatter = complex(self.rng.normal(0.0, scatter_std),
+                                        self.rng.normal(0.0, scatter_std))
+            else:
+                dt = max(t - self._last_t, 0.0)
+                rho = math.exp(-dt / self.coherence_time_s)
+                innov = scatter_std * math.sqrt(max(1.0 - rho * rho, 0.0))
+                self._scatter = rho * self._scatter + complex(
+                    self.rng.normal(0.0, innov),
+                    self.rng.normal(0.0, innov),
+                )
+            self._last_t = t
+            re_s, im_s = self._scatter.real, self._scatter.imag
+        re = los_amp + re_s
+        power = re * re + im_s * im_s
+        # Clamp ridiculous deep fades: receivers drop undecodable packets
+        # rather than report -inf (the scanner models the drop separately).
+        power = max(power, 1e-4)
+        return 10.0 * math.log10(power)
+
+    @staticmethod
+    def for_env(env_class: str, rng: np.random.Generator) -> "RicianFading":
+        if env_class not in ENV_K_FACTOR_DB:
+            raise ConfigurationError(f"unknown environment class {env_class!r}")
+        return RicianFading(ENV_K_FACTOR_DB[env_class], rng)
+
+
+@dataclass
+class FrequencySelectiveFading:
+    """Spatially smooth per-channel fade pattern for one link.
+
+    For each advertising channel we superpose ``n_components`` spatial
+    sinusoids with random orientation, wavelength-scale periods and random
+    phases, scaled to an RMS of ``amplitude_db``. Two co-located beacons
+    share *position*, so their patterns differ only via their own random
+    phases — the DTW clustering experiment (Sec. 6.1) relies on the dominant
+    distance trend surviving this term.
+    """
+
+    rng: np.random.Generator
+    amplitude_db: float = 2.0
+    n_components: int = 4
+    period_range_m: Tuple[float, float] = (0.4, 1.6)
+    _params: Dict[int, np.ndarray] = field(default_factory=dict, init=False, repr=False)
+
+    def _channel_params(self, channel: int) -> np.ndarray:
+        if channel not in self._params:
+            rows = []
+            for _ in range(self.n_components):
+                period = self.rng.uniform(*self.period_range_m)
+                theta = self.rng.uniform(0.0, 2.0 * math.pi)
+                phase = self.rng.uniform(0.0, 2.0 * math.pi)
+                kx = 2.0 * math.pi / period * math.cos(theta)
+                ky = 2.0 * math.pi / period * math.sin(theta)
+                rows.append((kx, ky, phase))
+            self._params[channel] = np.array(rows)
+        return self._params[channel]
+
+    def offset_db(self, channel: int, position: Vec2) -> float:
+        """Fade offset (dB) on ``channel`` with the receiver at ``position``."""
+        if self.amplitude_db == 0.0:
+            return 0.0
+        p = self._channel_params(channel)
+        phases = p[:, 0] * position.x + p[:, 1] * position.y + p[:, 2]
+        # RMS of a sum of N unit sinusoids is sqrt(N/2); normalise to RMS 1.
+        raw = float(np.sum(np.sin(phases))) / math.sqrt(self.n_components / 2.0)
+        return self.amplitude_db * raw

@@ -1,0 +1,129 @@
+"""End-to-end RSS generation for one beacon→observer radio link.
+
+:class:`RadioLink` composes the floorplan's LOS classification with path
+loss, correlated shadowing, Rician fading, frequency-selective per-channel
+offsets, obstacle insertion loss and receiver noise — producing the true RSS
+a scanner would report for one advertisement. This is the simulator's ground
+truth generator; the LocBLE estimator never sees any of these internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.channel.environment import EnvRealization, realize_env
+from repro.channel.fading import FrequencySelectiveFading, RicianFading
+from repro.channel.pathloss import DEFAULT_GAMMA_DBM, rss_at
+from repro.channel.shadowing import ShadowingProcess
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+
+__all__ = ["RadioLink", "LinkObservation"]
+
+
+@dataclass(frozen=True)
+class LinkObservation:
+    """One generated advertisement reception with its ground truth."""
+
+    rss_dbm: float
+    env_class: str
+    distance: float
+    mean_rss_dbm: float
+
+
+@dataclass
+class RadioLink:
+    """Stateful channel between one beacon and one observer device.
+
+    ``gamma_dbm`` is the beacon's 1 m reference power (hardware-specific, see
+    :mod:`repro.ble.devices`); ``rx_noise_offset_db`` / ``rx_jitter_std_db``
+    belong to the observer's chipset. A fresh :class:`RadioLink` should be
+    created per (beacon, observer) pair and reused across a measurement so
+    shadowing and frequency-selective patterns stay spatially coherent.
+    """
+
+    floorplan: Floorplan
+    rng: np.random.Generator
+    gamma_dbm: float = DEFAULT_GAMMA_DBM
+    rx_noise_offset_db: float = 0.0
+    rx_jitter_std_db: float = 1.0
+    quantise: bool = True
+    fading_enabled: bool = True
+    #: Optional small-scale fading coherence time (s); None = i.i.d. per
+    #: packet. ~0.05 s models a walking user at 2.4 GHz.
+    fading_coherence_s: Optional[float] = None
+    _realizations: Dict[str, EnvRealization] = field(default_factory=dict, init=False)
+    _shadowing: Optional[ShadowingProcess] = field(default=None, init=False)
+    _faders: Dict[str, RicianFading] = field(default_factory=dict, init=False)
+    _fsf: Optional[FrequencySelectiveFading] = field(default=None, init=False)
+
+    def _realization(self, env_class: str) -> EnvRealization:
+        if env_class not in self._realizations:
+            self._realizations[env_class] = realize_env(
+                env_class, self.rng, gamma_dbm=self.gamma_dbm
+            )
+        return self._realizations[env_class]
+
+    def _shadow(self, env_class: str) -> ShadowingProcess:
+        # One continuous shadowing process per link: a grazing LOS/P_LOS
+        # transition must not teleport the shadow-fading level (the blocker
+        # loss itself is added separately). Its parameters come from the
+        # first class this link is observed in.
+        if self._shadowing is None:
+            r = self._realization(env_class)
+            self._shadowing = ShadowingProcess(
+                sigma_db=r.shadow_sigma_db, d_corr_m=r.shadow_corr_m, rng=self.rng
+            )
+        return self._shadowing
+
+    def _fader(self, env_class: str) -> RicianFading:
+        if env_class not in self._faders:
+            r = self._realization(env_class)
+            self._faders[env_class] = RicianFading(
+                r.k_factor_db, self.rng,
+                coherence_time_s=self.fading_coherence_s,
+            )
+        return self._faders[env_class]
+
+    def _fsf_pattern(self, env_class: str) -> FrequencySelectiveFading:
+        if self._fsf is None:
+            r = self._realization(env_class)
+            self._fsf = FrequencySelectiveFading(
+                rng=self.rng, amplitude_db=r.fsf_amplitude_db
+            )
+        return self._fsf
+
+    def true_params(self, env_class: str) -> EnvRealization:
+        """The (Γ, n, ...) realisation this link uses for ``env_class``.
+
+        Exposed for experiment ground truth only — the estimator must not
+        read it.
+        """
+        return self._realization(env_class)
+
+    def observe(
+        self, tx: Vec2, rx: Vec2, t: float, channel: int = 37
+    ) -> LinkObservation:
+        """Generate the RSS for one advertisement sent at time ``t``."""
+        state = self.floorplan.classify_link(tx, rx, t)
+        r = self._realization(state.env_class)
+        mean = rss_at(state.distance, r.gamma_dbm, r.n) - state.excess_loss_db
+        v = mean
+        v += self._shadow(state.env_class).sample(rx)
+        if self.fading_enabled:
+            v += self._fader(state.env_class).sample_db(t)
+            v += self._fsf_pattern(state.env_class).offset_db(channel, rx)
+        v += self.rx_noise_offset_db
+        if self.rx_jitter_std_db > 0:
+            v += self.rng.normal(0.0, self.rx_jitter_std_db)
+        if self.quantise:
+            v = float(round(v))
+        return LinkObservation(
+            rss_dbm=v,
+            env_class=state.env_class,
+            distance=state.distance,
+            mean_rss_dbm=mean,
+        )

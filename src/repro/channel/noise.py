@@ -1,0 +1,52 @@
+"""Receiver-side RSS measurement noise (Sec. 2.4 of the paper).
+
+Phone chipsets add a device-specific *static offset* (the BCM4334 the paper
+cites is specified at ±5 dB accuracy), a per-reading thermal/analog jitter,
+and finally quantise the reported RSSI to integer dBm. The offset is what
+separates the three phone curves in Fig. 2 while their *trends* agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReceiverNoise"]
+
+
+@dataclass
+class ReceiverNoise:
+    """Noise model of one receiving device.
+
+    ``offset_db`` — fixed calibration offset of this chipset unit.
+    ``jitter_std_db`` — per-reading Gaussian measurement noise.
+    ``quantise`` — report integer dBm as real BLE stacks do.
+    """
+
+    offset_db: float
+    jitter_std_db: float
+    rng: np.random.Generator
+    quantise: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jitter_std_db < 0:
+            raise ConfigurationError("jitter_std_db must be non-negative")
+
+    def apply(self, rss_dbm: float) -> float:
+        """Corrupt a true RSS value the way the receiver would report it."""
+        v = rss_dbm + self.offset_db
+        if self.jitter_std_db > 0:
+            v += self.rng.normal(0.0, self.jitter_std_db)
+        if self.quantise:
+            v = float(round(v))
+        return v
+
+    @staticmethod
+    def sample_offset(
+        rng: np.random.Generator, accuracy_db: float = 5.0
+    ) -> float:
+        """Draw a unit's calibration offset from a ±accuracy spec."""
+        return float(rng.uniform(-accuracy_db, accuracy_db))

@@ -1,0 +1,65 @@
+"""Spatially correlated log-normal shadowing (Gudmundson model).
+
+Shadow fading is the slowly varying dB offset caused by large obstructions.
+It is log-normal in dB with standard deviation ``sigma_db`` and decorrelates
+exponentially with the distance the receiver moves:
+
+    E[S(p1) S(p2)] = sigma^2 * exp(-|p1 - p2| / d_corr)
+
+We synthesise it as a Gauss–Markov process indexed by *walked distance*, the
+standard first-order AR construction of the Gudmundson model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Vec2
+
+__all__ = ["ShadowingProcess"]
+
+
+@dataclass
+class ShadowingProcess:
+    """Stateful correlated shadowing sampler for one radio link.
+
+    Call :meth:`sample` with the receiver's current position; the process
+    advances by the distance moved since the previous call. ``sigma_db`` of
+    2–4 dB and ``d_corr`` of 1–3 m are typical indoors at 2.4 GHz.
+    """
+
+    sigma_db: float
+    d_corr_m: float
+    rng: np.random.Generator
+    _last_pos: Optional[Vec2] = field(default=None, init=False, repr=False)
+    _value: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0:
+            raise ConfigurationError("sigma_db must be non-negative")
+        if self.d_corr_m <= 0:
+            raise ConfigurationError("d_corr_m must be positive")
+
+    def sample(self, position: Vec2) -> float:
+        """Shadowing value (dB) at ``position``, correlated with the last call."""
+        if self.sigma_db == 0.0:
+            return 0.0
+        if self._last_pos is None:
+            self._value = self.rng.normal(0.0, self.sigma_db)
+        else:
+            moved = position.distance_to(self._last_pos)
+            rho = math.exp(-moved / self.d_corr_m)
+            innovation_std = self.sigma_db * math.sqrt(max(0.0, 1.0 - rho * rho))
+            self._value = rho * self._value + self.rng.normal(0.0, innovation_std)
+        self._last_pos = position
+        return self._value
+
+    def reset(self) -> None:
+        """Forget the correlation state (new measurement session)."""
+        self._last_pos = None
+        self._value = 0.0

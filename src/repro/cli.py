@@ -1,0 +1,254 @@
+"""Command-line interface: run LocBLE experiments without writing code.
+
+Usage examples::
+
+    python -m repro locate --scenario 1 --seed 3
+    python -m repro table1 --seeds 4
+    python -m repro envaware --sessions 8
+    python -m repro cluster --scenario 7 --beacons 6 --seed 2
+    python -m repro sweep-distance --repeats 3
+    python -m repro coverage --scenario 6
+    python -m repro report --scenario 1 --seed 1
+
+Every command is a thin wrapper over the public API, prints a small report
+and returns 0 on success, so the CLI doubles as living documentation of the
+library's entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LocBLE reproduction: locate BLE beacons in simulation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("locate", help="one measurement in a Table-1 scenario")
+    p.add_argument("--scenario", type=int, default=1, choices=range(1, 10))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--leg1", type=float, default=2.8)
+    p.add_argument("--leg2", type=float, default=2.2)
+    p.add_argument("--env-prior", choices=["auto", "off"], default="auto")
+
+    p = sub.add_parser("table1", help="per-environment accuracy sweep")
+    p.add_argument("--seeds", type=int, default=3)
+
+    p = sub.add_parser("envaware", help="train and score the classifier")
+    p.add_argument("--sessions", type=int, default=8)
+    p.add_argument("--test-sessions", type=int, default=4)
+
+    p = sub.add_parser("cluster", help="multi-beacon clustering calibration")
+    p.add_argument("--scenario", type=int, default=7, choices=range(1, 10))
+    p.add_argument("--beacons", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sweep-distance", help="accuracy vs target distance")
+    p.add_argument("--repeats", type=int, default=3)
+
+    from repro.ble.devices import BEACONS
+
+    p = sub.add_parser("coverage", help="ASCII coverage map of a scenario")
+    p.add_argument("--scenario", type=int, default=6, choices=range(1, 10))
+    p.add_argument("--beacon", choices=sorted(BEACONS), default="estimote")
+    p.add_argument("--cell", type=float, default=0.5)
+
+    p = sub.add_parser("report", help="quality report for one measurement")
+    p.add_argument("--scenario", type=int, default=1, choices=range(1, 10))
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_locate(args) -> int:
+    from repro import BeaconSpec, LocBLE, Simulator, l_shape, scenario
+    from repro.core.estimator import EllipticalEstimator
+
+    sc = scenario(args.scenario)
+    rng = np.random.default_rng(args.seed)
+    sim = Simulator(sc.floorplan, rng)
+    walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                   leg1=args.leg1, leg2=args.leg2)
+    rec = sim.simulate(walk, [BeaconSpec("b", position=sc.beacon_position)])
+
+    estimator = EllipticalEstimator()
+    if args.env_prior == "auto":
+        env = sc.floorplan.classify_link(
+            sc.beacon_position, sc.observer_start).env_class
+        estimator = estimator.with_environment(env)
+    est = LocBLE(estimator=estimator).estimate(
+        rec.rssi_traces["b"], rec.observer_imu.trace)
+    truth = rec.true_position_in_frame("b")
+
+    print(f"scenario  : #{sc.index} {sc.name}")
+    print(f"estimate  : ({est.position.x:+.2f}, {est.position.y:+.2f}) m")
+    print(f"truth     : ({truth.x:+.2f}, {truth.y:+.2f}) m")
+    print(f"error     : {est.error_to(truth):.2f} m")
+    print(f"gamma / n : {est.gamma:.1f} dBm / {est.n:.2f}")
+    print(f"confidence: {est.confidence:.2f}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro import BeaconSpec, LocBLE, Simulator, l_shape, scenario
+    from repro.core.estimator import EllipticalEstimator
+
+    print(f"{'env':>3s} {'name':14s} {'class':6s} {'dist':>5s} "
+          f"{'median':>7s} {'mean':>6s} {'paper':>6s}")
+    for idx in range(1, 10):
+        sc = scenario(idx)
+        env = sc.floorplan.classify_link(
+            sc.beacon_position, sc.observer_start).env_class
+        errs = []
+        for seed in range(args.seeds):
+            rng = np.random.default_rng(seed)
+            sim = Simulator(sc.floorplan, rng)
+            walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                           leg1=2.8, leg2=2.2)
+            rec = sim.simulate(
+                walk, [BeaconSpec("b", position=sc.beacon_position)])
+            est = LocBLE(
+                estimator=EllipticalEstimator().with_environment(env)
+            ).estimate(rec.rssi_traces["b"], rec.observer_imu.trace)
+            errs.append(est.error_to(rec.true_position_in_frame("b")))
+        print(f"{idx:3d} {sc.name:14s} {env:6s} {sc.nominal_distance:5.1f} "
+              f"{np.median(errs):7.2f} {np.mean(errs):6.2f} "
+              f"{sc.paper_accuracy_m:6.1f}")
+    return 0
+
+
+def _cmd_envaware(args) -> int:
+    from repro.core.envaware import EnvAwareClassifier
+    from repro.ml.metrics import accuracy, precision_recall_f1
+    from repro.sim.datasets import EnvDatasetBuilder
+
+    train = EnvDatasetBuilder(np.random.default_rng(20170701))
+    w, y = train.build(sessions_per_class=args.sessions)
+    clf = EnvAwareClassifier().fit(w, y)
+    test = EnvDatasetBuilder(np.random.default_rng(20171212))
+    w2, y2 = test.build(sessions_per_class=args.test_sessions)
+    pred = clf.predict(w2)
+    m = precision_recall_f1(np.asarray(y2), pred)
+    print(f"train windows: {len(w)}  test windows: {len(w2)}")
+    print(f"accuracy : {accuracy(np.asarray(y2), pred):.3f}")
+    print(f"precision: {m['precision']:.3f}  (paper: 0.947)")
+    print(f"recall   : {m['recall']:.3f}  (paper: 0.945)")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro import (BeaconSpec, ClusteringCalibrator, LocBLE, Simulator,
+                       Vec2, l_shape, scenario)
+    from repro.core.estimator import EllipticalEstimator
+
+    sc = scenario(args.scenario)
+    rng = np.random.default_rng(args.seed)
+    sim = Simulator(sc.floorplan, rng)
+    walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                   leg1=2.8, leg2=2.2)
+    beacons = [BeaconSpec("target", position=sc.beacon_position)]
+    for k in range(max(args.beacons - 1, 0)):
+        offset = Vec2.from_polar(
+            0.3, 2.0 * math.pi * k / max(args.beacons - 1, 1))
+        beacons.append(
+            BeaconSpec(f"n{k}", position=sc.beacon_position + offset))
+    rec = sim.simulate(walk, beacons)
+    truth = rec.true_position_in_frame("target")
+    env = sc.floorplan.classify_link(
+        sc.beacon_position, sc.observer_start).env_class
+    pipeline = LocBLE(estimator=EllipticalEstimator().with_environment(env))
+
+    single = pipeline.estimate(rec.rssi_traces["target"],
+                               rec.observer_imu.trace)
+    result = ClusteringCalibrator(pipeline).calibrate(
+        "target", rec.rssi_traces, rec.observer_imu.trace)
+    print(f"scenario #{sc.index} {sc.name}, {args.beacons} beacons")
+    print(f"single-beacon error : {single.error_to(truth):.2f} m")
+    print(f"calibrated error    : {result.error_to(truth):.2f} m")
+    print(f"cluster members     : {', '.join(result.contributors)}")
+    return 0
+
+
+def _cmd_sweep_distance(args) -> int:
+    from repro import BeaconSpec, Floorplan, LocBLE, Simulator, Vec2, l_shape
+    from repro.errors import EstimationError, InsufficientDataError
+
+    print(f"{'distance':>8s} {'mean err':>9s}")
+    for d in (2.8, 5.6, 8.4, 11.2, 14.0):
+        errs = []
+        for seed in range(args.repeats):
+            rng = np.random.default_rng(int(d * 100) + seed)
+            sim = Simulator(Floorplan("lot", 30, 20, outdoor=True), rng)
+            start = Vec2(2.0, 8.0)
+            beacon = start + Vec2.from_polar(d, math.radians(12.0))
+            walk = l_shape(start, 0.0, leg1=2.8, leg2=2.2)
+            rec = sim.simulate(walk, [BeaconSpec("b", position=beacon)])
+            try:
+                est = LocBLE().estimate(rec.rssi_traces["b"],
+                                        rec.observer_imu.trace)
+                errs.append(est.error_to(rec.true_position_in_frame("b")))
+            except (EstimationError, InsufficientDataError):
+                errs.append(d)
+        print(f"{d:8.1f} {np.mean(errs):9.2f}")
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from repro.analysis import CoverageMap
+    from repro.ble.devices import BEACONS
+    from repro import scenario
+
+    sc = scenario(args.scenario)
+    cm = CoverageMap(sc.floorplan, sc.beacon_position,
+                     profile=BEACONS[args.beacon], cell_m=args.cell)
+    print(f"scenario #{sc.index} {sc.name}, beacon {args.beacon} at "
+          f"{sc.beacon_position}")
+    print(f"coverage: {cm.coverage_fraction():.0%} of the floor\n")
+    print(cm.ascii_map())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro import BeaconSpec, Simulator, l_shape, scenario
+    from repro.core.reporting import session_report
+
+    sc = scenario(args.scenario)
+    rng = np.random.default_rng(args.seed)
+    sim = Simulator(sc.floorplan, rng)
+    walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                   leg1=2.8, leg2=2.2)
+    rec = sim.simulate(walk, [BeaconSpec("b", position=sc.beacon_position)])
+    print(session_report(rec.rssi_traces["b"], rec.observer_imu.trace))
+    truth = rec.true_position_in_frame("b")
+    print(f"ground truth: ({truth.x:+.2f}, {truth.y:+.2f}) m")
+    return 0
+
+
+_COMMANDS = {
+    "locate": _cmd_locate,
+    "table1": _cmd_table1,
+    "envaware": _cmd_envaware,
+    "cluster": _cmd_cluster,
+    "sweep-distance": _cmd_sweep_distance,
+    "coverage": _cmd_coverage,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Algorithm 2: multi-beacon clustering calibration (Sec. 6).
+
+Cheap beacons cluster physically (same shelf, same bin), and co-located
+beacons' RSS sequences trend together during the observer's L-walk. The
+calibration layer exploits that: it matches every nearby beacon's sequence
+against the target's with the fixed-window DTW voting matcher, estimates a
+position from each matching beacon's *own* RSS (they are co-located, so each
+is an independent noisy estimate of the same spot), and fuses the candidates
+by normalised confidence weight — "the estimations from those neighboring
+devices compensate the noise in the challenging environments".
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import LocBLE
+from repro.dtw.segmatch import MatchResult, SegmentMatcher
+from repro.errors import EstimationError, InsufficientDataError
+from repro.types import ImuTrace, LocationEstimate, RssiTrace, Vec2
+
+__all__ = ["CalibratedEstimate", "ClusteringCalibrator"]
+
+
+@dataclass
+class CalibratedEstimate:
+    """Fused estimate with per-contributor detail."""
+
+    position: Vec2
+    confidence: float
+    contributors: List[str]
+    weights: Dict[str, float]
+    per_beacon: Dict[str, LocationEstimate]
+    match_results: Dict[str, MatchResult]
+
+    def error_to(self, truth: Vec2) -> float:
+        return self.position.distance_to(truth)
+
+
+@dataclass
+class ClusteringCalibrator:
+    """Clusters neighbouring beacons by RSS-trend similarity and fuses."""
+
+    pipeline: LocBLE
+    matcher: SegmentMatcher = field(default_factory=SegmentMatcher)
+
+    def calibrate(
+        self,
+        target_id: str,
+        traces: Dict[str, RssiTrace],
+        observer_imu: ImuTrace,
+    ) -> CalibratedEstimate:
+        """Run Algorithm 2 for ``target_id`` over all scanned beacons.
+
+        ``traces`` maps every beacon heard during the measurement (the
+        target included) to its RSSI trace. Beacons whose sequences fail
+        the DTW vote, or whose individual estimation fails, simply do not
+        contribute — with no neighbours the result degrades gracefully to
+        the single-beacon estimate.
+        """
+        if target_id not in traces:
+            raise EstimationError(f"no trace for target beacon {target_id!r}")
+        target_trace = traces[target_id]
+
+        per_beacon: Dict[str, LocationEstimate] = {}
+        match_results: Dict[str, MatchResult] = {}
+
+        target_est = self.pipeline.estimate(target_trace, observer_imu)
+        per_beacon[target_id] = target_est
+
+        for beacon_id, trace in traces.items():
+            if beacon_id == target_id:
+                continue
+            try:
+                result = self.matcher.match(target_trace, trace)
+            except InsufficientDataError:
+                continue
+            match_results[beacon_id] = result
+            if not result.matched:
+                continue
+            try:
+                per_beacon[beacon_id] = self.pipeline.estimate(
+                    trace, observer_imu
+                )
+            except (EstimationError, InsufficientDataError):
+                continue
+
+        # Confidence-weighted fusion (the paper's normalised p_i weights),
+        # additionally de-weighted by each fit's Gauss-Newton position
+        # variance so a wild, weakly-observed estimate cannot dominate the
+        # cluster average.
+        weights: Dict[str, float] = {}
+        total = 0.0
+        for beacon_id, est in per_beacon.items():
+            w = max(est.confidence, 1e-6)
+            if math.isfinite(est.position_std):
+                w /= 0.25 + est.position_std**2
+            weights[beacon_id] = w
+            total += w
+        for beacon_id in weights:
+            weights[beacon_id] /= total
+
+        fused = Vec2(
+            sum(per_beacon[b].position.x * w for b, w in weights.items()),
+            sum(per_beacon[b].position.y * w for b, w in weights.items()),
+        )
+        fused_conf = float(
+            sum(per_beacon[b].confidence * w for b, w in weights.items())
+        )
+        return CalibratedEstimate(
+            position=fused,
+            confidence=fused_conf,
+            contributors=sorted(per_beacon),
+            weights=weights,
+            per_beacon=per_beacon,
+            match_results=match_results,
+        )

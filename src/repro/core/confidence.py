@@ -1,0 +1,40 @@
+"""Estimation confidence from RSS residuals (Sec. 5, "Estimation confidence").
+
+After a fit, the per-sample noise ``δRS = RS - R̂S`` should be zero-mean
+Gaussian if the model explains the data. The paper treats the probability of
+the observed residual mean under ``N(0, σ)`` as the estimate's confidence:
+a residual mean far from zero (in units of σ) means the regression is
+fighting the data — an NLOS transition mid-trace, an interferer — and the
+estimate deserves little weight in the multi-beacon calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+__all__ = ["estimation_confidence"]
+
+
+def estimation_confidence(residuals: Sequence[float]) -> float:
+    """Confidence in [0, 1] for a fit with the given RSS residuals.
+
+    Computes the two-sided tail probability of the residual mean μ under
+    ``N(0, σ)`` where σ is the residual standard deviation — the paper's
+    ``P(μ)`` with σ "robust to the change of its mean". A perfectly centred
+    residual cloud scores 1; a mean one σ out scores ≈0.32.
+    """
+    r = np.asarray(residuals, dtype=float)
+    if r.size < 3:
+        raise InsufficientDataError("need >= 3 residuals for a confidence")
+    mu = float(np.mean(r))
+    sigma = float(np.std(r, ddof=1))
+    if sigma < 1e-9:
+        # Zero spread: either a perfect (noise-free) fit or a degenerate one.
+        return 1.0 if abs(mu) < 1e-9 else 0.0
+    z = abs(mu) / sigma
+    return float(math.erfc(z / math.sqrt(2.0)))

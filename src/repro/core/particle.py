@@ -1,0 +1,135 @@
+"""Particle-filter location estimator — the sequential design alternative.
+
+The batch elliptical regression refits everything on each update; a
+sequential Monte Carlo estimator instead carries a particle cloud over the
+beacon's position (and per-particle path-loss parameters) and assimilates
+each (displacement, RSS) reading as it arrives. It serves three roles:
+
+* an **ablation comparator** for the batch estimator (DESIGN.md §5);
+* a natural **online** API (`update` per reading, `estimate` any time)
+  for streaming deployments;
+* a posterior whose spread is a direct uncertainty readout (no Jacobian
+  approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.types import LocationEstimate, Vec2
+
+__all__ = ["ParticleEstimator"]
+
+
+@dataclass
+class ParticleEstimator:
+    """SIR particle filter over (x, h, Γ, n).
+
+    Particles are seeded uniformly over a disk of radius ``max_range_m``
+    with path-loss parameters drawn from the same priors the batch
+    estimator uses (Γ around the advertised power, n over the indoor band).
+    Each ``update(p, q, rss)`` reweights by the Gaussian RSS likelihood and
+    resamples when the effective sample size collapses; a small parameter
+    jitter at resampling keeps the cloud alive (regularised PF).
+    """
+
+    rng: np.random.Generator
+    n_particles: int = 1500
+    max_range_m: float = 16.0
+    rss_sigma_db: float = 3.5
+    gamma_prior: float = -59.0
+    gamma_prior_sigma: float = 6.0
+    n_low: float = 1.6
+    n_high: float = 3.2
+    resample_threshold: float = 0.5
+    _state: Optional[np.ndarray] = field(default=None, init=False)
+    _weights: Optional[np.ndarray] = field(default=None, init=False)
+    _n_updates: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_particles < 50:
+            raise ConfigurationError("need >= 50 particles")
+        if self.rss_sigma_db <= 0 or self.max_range_m <= 0:
+            raise ConfigurationError("invalid noise/range parameters")
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-seed the cloud from the prior."""
+        n = self.n_particles
+        radius = self.max_range_m * np.sqrt(self.rng.uniform(0.05, 1.0, n))
+        angle = self.rng.uniform(-math.pi, math.pi, n)
+        x = radius * np.cos(angle)
+        h = radius * np.sin(angle)
+        gamma = self.rng.normal(self.gamma_prior, self.gamma_prior_sigma, n)
+        n_exp = self.rng.uniform(self.n_low, self.n_high, n)
+        self._state = np.column_stack([x, h, gamma, n_exp])
+        self._weights = np.full(n, 1.0 / n)
+        self._n_updates = 0
+
+    @property
+    def effective_sample_size(self) -> float:
+        return float(1.0 / np.sum(self._weights**2))
+
+    def update(self, p: float, q: float, rss: float) -> None:
+        """Assimilate one reading (same (p, q) convention as the batch fit)."""
+        s = self._state
+        l = np.maximum(np.hypot(s[:, 0] + p, s[:, 1] + q), 0.1)
+        predicted = s[:, 2] - 10.0 * s[:, 3] * np.log10(l)
+        log_lik = -0.5 * ((rss - predicted) / self.rss_sigma_db) ** 2
+        log_w = np.log(self._weights + 1e-300) + log_lik
+        log_w -= log_w.max()
+        w = np.exp(log_w)
+        total = w.sum()
+        if not math.isfinite(total) or total <= 0:
+            self.reset()
+            return
+        self._weights = w / total
+        self._n_updates += 1
+        if self.effective_sample_size < self.resample_threshold * self.n_particles:
+            self._resample()
+
+    def update_batch(self, ps, qs, rss_values) -> None:
+        for p, q, r in zip(ps, qs, rss_values):
+            self.update(float(p), float(q), float(r))
+
+    def _resample(self) -> None:
+        n = self.n_particles
+        # Systematic resampling.
+        positions = (self.rng.random() + np.arange(n)) / n
+        cumulative = np.cumsum(self._weights)
+        cumulative[-1] = 1.0
+        idx = np.searchsorted(cumulative, positions)
+        self._state = self._state[idx]
+        # Regularisation jitter, scaled to the cloud's current spread.
+        spread = np.maximum(self._state.std(axis=0), 1e-3)
+        jitter = self.rng.normal(0.0, 0.1, self._state.shape) * spread
+        self._state = self._state + jitter
+        self._state[:, 3] = np.clip(self._state[:, 3], 1.0, 5.0)
+        self._state[:, 2] = np.clip(self._state[:, 2], -95.0, -25.0)
+        self._weights = np.full(n, 1.0 / n)
+
+    def estimate(self) -> LocationEstimate:
+        """The posterior-mean estimate with its spread as position_std."""
+        if self._n_updates < 1:
+            raise EstimationError("no readings assimilated yet")
+        mean = np.average(self._state, axis=0, weights=self._weights)
+        var_xy = np.average(
+            (self._state[:, :2] - mean[:2]) ** 2, axis=0,
+            weights=self._weights,
+        )
+        std = float(np.sqrt(var_xy.sum()))
+        # Confidence: how concentrated the posterior is relative to the
+        # prior disk.
+        confidence = float(np.clip(1.0 - std / self.max_range_m, 0.0, 1.0))
+        return LocationEstimate(
+            position=Vec2(float(mean[0]), float(mean[1])),
+            confidence=confidence,
+            gamma=float(mean[2]),
+            n=float(mean[3]),
+            position_std=std,
+        )

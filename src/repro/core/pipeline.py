@@ -1,0 +1,289 @@
+"""Algorithm 1: the end-to-end LocBLE estimation pipeline.
+
+Wires the pieces together exactly in the paper's order (Sec. 5.3): per
+2–3 s data batch, (1) detect the observer's (and target's) movement, (2)
+match movement to RSS by timestamp, (3) classify the environment and filter
+the noise, (4) append to the running regression — or start a new one if the
+environment changed abruptly — and (5) refresh the location estimate and
+its probability.
+
+All three of the paper's design elements are independently removable for the
+ablation experiments: ``use_envaware`` (Fig. 5), ``anf`` stages (Fig. 4/5),
+and the environment-informed exponent prior.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.anf import AdaptiveNoiseFilter
+from repro.core.confidence import estimation_confidence
+from repro.core.envaware import EnvAwareClassifier, EnvironmentMonitor
+from repro.core.estimator import EllipticalEstimator, FitResult
+from repro.errors import (
+    ConfigurationError,
+    EstimationError,
+    InsufficientDataError,
+)
+from repro.imu.sensors import SynthesizedImu
+from repro.motion.deadreckoning import MotionTracker
+from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace, Vec2
+
+__all__ = ["LocBLE", "EstimationContext"]
+
+#: Roughly one batch per the paper's "2–3 seconds ... approximately 20 RSS
+#: samples per data batch" at 8–9 Hz sampling.
+DEFAULT_BATCH_S = 2.0
+
+
+@dataclass
+class EstimationContext:
+    """Intermediate pipeline state exposed for experiments and debugging."""
+
+    matched_p: np.ndarray
+    matched_q: np.ndarray
+    matched_rss: np.ndarray
+    segment_start_index: int
+    env_class: str
+    env_changes: List[float] = field(default_factory=list)
+    fit: Optional[FitResult] = None
+
+
+@dataclass
+class LocBLE:
+    """The LocBLE application core, configured per measurement session.
+
+    Feed a whole recorded session to :meth:`estimate`; use
+    :meth:`estimate_series` for navigation-style periodic re-estimation.
+    """
+
+    envaware: Optional[EnvAwareClassifier] = None
+    anf: AdaptiveNoiseFilter = field(default_factory=AdaptiveNoiseFilter)
+    estimator: EllipticalEstimator = field(default_factory=EllipticalEstimator)
+    motion_tracker: MotionTracker = field(default_factory=MotionTracker)
+    use_envaware: bool = True
+    restart_on_env_change: bool = True
+    use_env_prior: bool = True
+    batch_s: float = DEFAULT_BATCH_S
+    envaware_hysteresis: int = 2
+
+    # -- public API ---------------------------------------------------------
+
+    def estimate(
+        self,
+        rssi_trace: RssiTrace,
+        observer_imu: ImuTrace,
+        target_imu: Optional[ImuTrace] = None,
+    ) -> LocationEstimate:
+        """Estimate the beacon's position in the measurement frame.
+
+        ``target_imu`` enables the moving-target mode (Sec. 5): the target
+        records its own motion and "sends measurement data to the observer
+        for processing"; frames are reconciled through each device's
+        magnetic heading.
+        """
+        ctx = self._build_context(rssi_trace, observer_imu, target_imu)
+        return self._estimate_from_context(ctx)
+
+    def estimate_all(
+        self,
+        rssi_traces: "dict[str, RssiTrace]",
+        observer_imu: ImuTrace,
+    ) -> "dict[str, LocationEstimate]":
+        """Estimate every audible beacon from one session's traces.
+
+        Beacons whose trace is too poor to estimate are simply omitted —
+        a multi-beacon scan routinely contains marginal strays.
+        """
+        out: "dict[str, LocationEstimate]" = {}
+        for beacon_id, trace in rssi_traces.items():
+            try:
+                out[beacon_id] = self.estimate(trace, observer_imu)
+            except (ConfigurationError, InsufficientDataError):
+                continue
+            except EstimationError:
+                continue
+        return out
+
+    def estimate_series(
+        self,
+        rssi_trace: RssiTrace,
+        observer_imu: ImuTrace,
+        times: List[float],
+    ) -> List[Tuple[float, LocationEstimate]]:
+        """Re-estimate at each requested time using only data seen so far.
+
+        Powers the navigation experiments (Fig. 12b): the estimate sharpens
+        as the observer approaches and more data accumulates. Times where
+        too little data exists are skipped.
+        """
+        out: List[Tuple[float, LocationEstimate]] = []
+        for t in times:
+            partial = rssi_trace.slice_time(-math.inf, t)
+            imu_partial = ImuTrace(
+                [s for s in observer_imu.samples if s.timestamp <= t]
+            )
+            try:
+                ctx = self._build_context(partial, imu_partial, None)
+                out.append((t, self._estimate_from_context(ctx)))
+            except InsufficientDataError:
+                continue
+        return out
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def _build_context(
+        self,
+        rssi_trace: RssiTrace,
+        observer_imu: ImuTrace,
+        target_imu: Optional[ImuTrace],
+    ) -> EstimationContext:
+        if len(rssi_trace) < self.estimator.min_samples:
+            raise InsufficientDataError(
+                f"trace has {len(rssi_trace)} samples; "
+                f"need >= {self.estimator.min_samples}"
+            )
+        values_check = rssi_trace.values()
+        if not np.all(np.isfinite(values_check)):
+            bad = int(np.sum(~np.isfinite(values_check)))
+            raise ConfigurationError(
+                f"trace contains {bad} non-finite RSSI value(s); "
+                "clean the log before estimation"
+            )
+        ts_check = rssi_trace.timestamps()
+        if np.any(np.diff(ts_check) < 0):
+            raise ConfigurationError(
+                "trace timestamps are not sorted; sort samples by time "
+                "before estimation"
+            )
+
+        # Step 1 — movement detection (observer, and target if moving).
+        observer_track = self.motion_tracker.track(observer_imu)
+        target_track = None
+        frame_rotation = 0.0
+        if target_imu is not None:
+            target_track = self.motion_tracker.track(target_imu)
+            frame_rotation = self._frame_rotation(observer_imu, target_imu)
+
+        # Step 2 — match movement to RSS data by timestamp.
+        ts = rssi_trace.timestamps()
+        raw_rss = rssi_trace.values()
+        p = np.empty(len(ts))
+        q = np.empty(len(ts))
+        for i, t in enumerate(ts):
+            a = observer_track.displacement_at(t)
+            if target_track is None:
+                b = Vec2(0.0, 0.0)
+            else:
+                b = target_track.displacement_at(t).rotated(frame_rotation)
+            p[i] = b.x - a.x
+            q[i] = b.y - a.y
+
+        # Step 3a — environment classification over batches.
+        env_class = EnvClass.LOS
+        seg_start = 0
+        changes: List[float] = []
+        if self.use_envaware and self.envaware is not None:
+            env_class, seg_start, changes = self._segment_by_environment(
+                ts, raw_rss
+            )
+        if not self.restart_on_env_change:
+            seg_start = 0
+        if seg_start > 0:
+            # A regression needs movement, not just samples: if the walk was
+            # essentially over by the time the change was confirmed, keep
+            # the whole trace rather than regress on a standstill tail.
+            span = max(float(np.ptp(p[seg_start:])), float(np.ptp(q[seg_start:])))
+            if span < 0.5:
+                seg_start = 0
+                changes = []
+
+        # Step 3b — adaptive noise filtering on the active regression
+        # segment only: filtering across an environment change would smear
+        # the pre-change RSS level into the fresh regression's data.
+        fs = rssi_trace.mean_rate_hz()
+        filtered = self.anf.apply(raw_rss[seg_start:], fs if fs > 0 else 9.0)
+
+        return EstimationContext(
+            matched_p=p[seg_start:],
+            matched_q=q[seg_start:],
+            matched_rss=filtered,
+            segment_start_index=seg_start,
+            env_class=env_class,
+            env_changes=changes,
+        )
+
+    def _estimate_from_context(self, ctx: EstimationContext) -> LocationEstimate:
+        estimator = self.estimator
+        if self.use_env_prior and self.use_envaware and self.envaware is not None:
+            estimator = estimator.with_environment(ctx.env_class)
+        fit = estimator.fit(ctx.matched_p, ctx.matched_q, ctx.matched_rss)
+        ctx.fit = fit
+        confidence = estimation_confidence(fit.residuals)
+        ambiguous = (fit.mirror,) if fit.mirror is not None else ()
+        return LocationEstimate(
+            position=fit.position,
+            confidence=confidence,
+            gamma=fit.gamma,
+            n=fit.n,
+            environment=ctx.env_class,
+            ambiguous=ambiguous,
+            position_std=fit.position_std,
+        )
+
+    def _segment_by_environment(
+        self, ts: np.ndarray, rss: np.ndarray
+    ) -> Tuple[str, int, List[float]]:
+        """Monitor batches; return (current class, segment start idx, changes).
+
+        The regression restarts at the *last* abrupt environment change
+        (Sec. 5.3 step: "start a new regression with the data"), but never
+        so late that fewer than ``min_samples`` readings remain — a change
+        in the final seconds cannot leave us with nothing to regress.
+        """
+        monitor = EnvironmentMonitor(
+            self.envaware, hysteresis=self.envaware_hysteresis
+        )
+        seg_start = 0
+        changes: List[float] = []
+        t = float(ts[0])
+        t_end = float(ts[-1])
+        while t < t_end:
+            mask = (ts >= t) & (ts < t + self.batch_s)
+            idx = np.flatnonzero(mask)
+            if len(idx) >= 4:
+                changed = monitor.observe(rss[idx])
+                if changed:
+                    candidate = int(idx[0])
+                    if len(ts) - candidate >= self.estimator.min_samples:
+                        seg_start = candidate
+                        changes.append(float(ts[candidate]))
+            t += self.batch_s
+        return monitor.current, seg_start, changes
+
+    @staticmethod
+    def _frame_rotation(
+        observer_imu: ImuTrace, target_imu: ImuTrace, settle_s: float = 0.5
+    ) -> float:
+        """Rotation taking target-frame displacements into the observer frame.
+
+        Each device's dead-reckoned frame is anchored at its own initial
+        walking direction; the magnetometer gives both directions in a
+        shared earth frame, so the difference of initial headings aligns
+        them.
+        """
+
+        def initial_heading(imu: ImuTrace) -> float:
+            t0 = imu.samples[0].timestamp
+            hs = [
+                s.mag_heading for s in imu.samples if s.timestamp <= t0 + settle_s
+            ]
+            return math.atan2(
+                float(np.mean(np.sin(hs))), float(np.mean(np.cos(hs)))
+            )
+
+        return initial_heading(target_imu) - initial_heading(observer_imu)

@@ -1,0 +1,139 @@
+"""Session reports: a human-readable account of one measurement.
+
+The LocBLE app shows the user an arrow and a dot; a *library* user debugging
+a deployment wants the full story — trace quality, environment timeline,
+motion summary, fit parameters, confidence and warnings. ``session_report``
+assembles that from the pipeline's public outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.envaware import EnvAwareClassifier, trace_windows
+from repro.core.pipeline import LocBLE
+from repro.errors import EstimationError, InsufficientDataError
+from repro.motion.deadreckoning import MotionTracker
+from repro.types import ImuTrace, LocationEstimate, RssiTrace
+
+__all__ = ["SessionReport", "session_report"]
+
+#: Quality gates used to raise warnings.
+_MIN_GOOD_SAMPLES = 25
+_MIN_GOOD_RATE_HZ = 5.0
+_MIN_GOOD_WALK_M = 3.0
+_LOW_CONFIDENCE = 0.2
+
+
+@dataclass
+class SessionReport:
+    """Structured report; ``str()`` renders the human-readable text."""
+
+    n_samples: int
+    rate_hz: float
+    rssi_mean: float
+    rssi_span: float
+    walked_m: float
+    n_turns: int
+    env_timeline: List[str]
+    estimate: Optional[LocationEstimate]
+    failure: Optional[str]
+    warnings: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = ["=== LocBLE session report ==="]
+        lines.append(
+            f"trace    : {self.n_samples} samples @ {self.rate_hz:.1f} Hz, "
+            f"mean {self.rssi_mean:.0f} dBm (span {self.rssi_span:.0f} dB)")
+        lines.append(
+            f"motion   : walked {self.walked_m:.1f} m, "
+            f"{self.n_turns} turn(s)")
+        if self.env_timeline:
+            lines.append("envs     : " + " -> ".join(self.env_timeline))
+        if self.estimate is not None:
+            e = self.estimate
+            lines.append(
+                f"estimate : ({e.position.x:+.2f}, {e.position.y:+.2f}) m, "
+                f"range {e.distance():.1f} m")
+            lines.append(
+                f"fit      : gamma {e.gamma:.1f} dBm, n {e.n:.2f}, "
+                f"confidence {e.confidence:.2f}")
+            if e.ambiguous:
+                mirrors = ", ".join(
+                    f"({m.x:+.1f}, {m.y:+.1f})" for m in e.ambiguous)
+                lines.append(f"ambiguous: mirror candidate(s) at {mirrors}")
+        else:
+            lines.append(f"estimate : FAILED ({self.failure})")
+        for w in self.warnings:
+            lines.append(f"warning  : {w}")
+        return "\n".join(lines)
+
+
+def session_report(
+    rssi_trace: RssiTrace,
+    observer_imu: ImuTrace,
+    pipeline: Optional[LocBLE] = None,
+    envaware: Optional[EnvAwareClassifier] = None,
+) -> SessionReport:
+    """Run the pipeline on a session and assemble its report."""
+    pipeline = pipeline or LocBLE(envaware=envaware)
+
+    n = len(rssi_trace)
+    rate = rssi_trace.mean_rate_hz()
+    values = rssi_trace.values() if n else np.array([0.0])
+    track = MotionTracker().track(observer_imu)
+
+    env_timeline: List[str] = []
+    clf = envaware or pipeline.envaware
+    if clf is not None and n:
+        labels = [clf.predict_one(w) for w in trace_windows(rssi_trace)]
+        for lab in labels:
+            if not env_timeline or env_timeline[-1] != lab:
+                env_timeline.append(lab)
+
+    estimate: Optional[LocationEstimate] = None
+    failure: Optional[str] = None
+    try:
+        estimate = pipeline.estimate(rssi_trace, observer_imu)
+    except (EstimationError, InsufficientDataError) as exc:
+        failure = str(exc)
+
+    warnings: List[str] = []
+    if n < _MIN_GOOD_SAMPLES:
+        warnings.append(
+            f"only {n} RSSI samples; the paper's walks collect ~40")
+    if 0 < rate < _MIN_GOOD_RATE_HZ:
+        warnings.append(
+            f"effective rate {rate:.1f} Hz; heavy interference suspected")
+    if track.total_distance() < _MIN_GOOD_WALK_M:
+        warnings.append(
+            f"walked only {track.total_distance():.1f} m; "
+            "Sec. 7.6.2 wants >= ~3 m")
+    if len(track.turns) == 0:
+        warnings.append(
+            "no turn detected: straight-leg symmetry will be unresolved")
+    if estimate is not None and estimate.confidence < _LOW_CONFIDENCE:
+        warnings.append(
+            f"low estimation confidence ({estimate.confidence:.2f}); "
+            "the channel likely changed mid-measurement")
+    if estimate is not None and estimate.distance() > 14.0:
+        warnings.append(
+            "estimated range beyond ~14 m; accuracy degrades sharply there "
+            "(Fig. 12a)")
+
+    return SessionReport(
+        n_samples=n,
+        rate_hz=rate,
+        rssi_mean=float(np.mean(values)),
+        rssi_span=float(np.ptp(values)),
+        walked_m=track.total_distance(),
+        n_turns=len(track.turns),
+        env_timeline=env_timeline,
+        estimate=estimate,
+        failure=failure,
+        warnings=warnings,
+    )

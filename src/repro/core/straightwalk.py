@@ -1,0 +1,112 @@
+"""Straight-walk mode: defer symmetry resolution to navigation (Sec. 9.2).
+
+"To solve this difficulty [the L-shaped requirement in cramped spaces], the
+observer may just walk straight and leave the symmetry problem to the
+navigation stage. During the last turn in navigation, we will know whether
+the observer is in a correct direction and correct him accordingly."
+
+The flow implemented here:
+
+1. the user walks a single straight leg; :class:`EllipticalEstimator`
+   returns the mirror pair {(x, +h), (x, -h)} plus the fitted (Γ, n);
+2. navigation heads for the primary candidate; this requires a turn off the
+   measurement line — after which the two hypotheses predict *different*
+   RSS sequences (approaching one means receding from the other);
+3. :meth:`StraightWalkResolver.observe` scores fresh (displacement, RSS)
+   pairs against both hypotheses under the fitted path-loss parameters and
+   switches to the mirror the moment the evidence favours it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import FitResult
+from repro.errors import EstimationError, InsufficientDataError
+from repro.types import Vec2
+
+__all__ = ["StraightWalkResolver"]
+
+
+@dataclass
+class StraightWalkResolver:
+    """Online disambiguation of a straight-walk mirror pair.
+
+    Feed navigation-phase observations with :meth:`observe`; read the
+    currently favoured candidate from :attr:`current` and whether the
+    evidence is conclusive from :meth:`resolved`.
+
+    ``decision_margin`` is the factor by which one hypothesis' RSS residual
+    energy must beat the other's before the ambiguity is declared resolved
+    (2.0 ≈ the wrong side fits twice as badly).
+    """
+
+    fit: FitResult
+    decision_margin: float = 2.0
+    min_observations: int = 6
+    _p: List[float] = field(default_factory=list, init=False)
+    _q: List[float] = field(default_factory=list, init=False)
+    _rss: List[float] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.fit.mirror is None:
+            raise EstimationError(
+                "fit has no mirror candidate; nothing to disambiguate"
+            )
+        if self.decision_margin <= 1.0:
+            raise EstimationError("decision_margin must exceed 1.0")
+
+    @property
+    def candidates(self) -> Tuple[Vec2, Vec2]:
+        return (self.fit.position, self.fit.mirror)
+
+    def observe(self, p: float, q: float, rss: float) -> None:
+        """Add one navigation-phase observation.
+
+        ``(p, q)`` is the relative displacement in the measurement frame
+        (target minus observer movement — the same convention as the
+        estimator) and ``rss`` the filtered reading there.
+        """
+        self._p.append(float(p))
+        self._q.append(float(q))
+        self._rss.append(float(rss))
+
+    def _sse(self, candidate: Vec2) -> float:
+        p = np.asarray(self._p)
+        q = np.asarray(self._q)
+        rss = np.asarray(self._rss)
+        l = np.maximum(np.hypot(candidate.x + p, candidate.y + q), 0.1)
+        predicted = self.fit.gamma - 10.0 * self.fit.n * np.log10(l)
+        return float(np.sum((rss - predicted) ** 2))
+
+    def scores(self) -> Tuple[float, float]:
+        """(primary SSE, mirror SSE) over the observations so far."""
+        if len(self._rss) < self.min_observations:
+            raise InsufficientDataError(
+                f"need >= {self.min_observations} observations, "
+                f"have {len(self._rss)}"
+            )
+        return self._sse(self.fit.position), self._sse(self.fit.mirror)
+
+    @property
+    def current(self) -> Vec2:
+        """The currently favoured candidate (primary until evidence)."""
+        if len(self._rss) < self.min_observations:
+            return self.fit.position
+        sse_primary, sse_mirror = self.scores()
+        return (self.fit.position if sse_primary <= sse_mirror
+                else self.fit.mirror)
+
+    def resolved(self) -> Optional[Vec2]:
+        """The winning candidate once the margin is met, else None."""
+        if len(self._rss) < self.min_observations:
+            return None
+        sse_primary, sse_mirror = self.scores()
+        if sse_mirror >= self.decision_margin * sse_primary:
+            return self.fit.position
+        if sse_primary >= self.decision_margin * sse_mirror:
+            return self.fit.mirror
+        return None

@@ -1,0 +1,10 @@
+"""Sequence-matching substrate: DTW, LB_Keogh, segment voting."""
+
+from repro.dtw.dtw import DtwResult, dtw_distance, dtw_full
+from repro.dtw.lowerbound import envelope, lb_keogh
+from repro.dtw.segmatch import MatchResult, SegmentMatcher
+
+__all__ = [
+    "DtwResult", "dtw_distance", "dtw_full", "envelope", "lb_keogh",
+    "MatchResult", "SegmentMatcher",
+]

@@ -1,0 +1,99 @@
+"""Dynamic time warping with an optional Sakoe–Chiba warping window.
+
+DTW aligns two temporal sequences by the minimum-cost monotone path through
+the pairwise-distance matrix [27]. The clustering layer (Sec. 6.1) uses it
+to decide whether two beacons' RSS trends match; the cost matrix itself is
+exposed because the paper visualises it (Fig. 9c/d).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DtwResult", "dtw_distance", "dtw_full"]
+
+
+@dataclass
+class DtwResult:
+    """Alignment outcome: total cost, warping path and the cost matrix."""
+
+    distance: float
+    path: List[Tuple[int, int]]
+    cost_matrix: np.ndarray
+
+    @property
+    def normalized_distance(self) -> float:
+        """Cost per path step — comparable across sequence lengths."""
+        return self.distance / max(len(self.path), 1)
+
+
+def _validate(a: Sequence[float], b: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 1 or b.ndim != 1 or a.size == 0 or b.size == 0:
+        raise ConfigurationError("DTW requires two non-empty 1-D sequences")
+    return a, b
+
+
+def dtw_distance(
+    a: Sequence[float], b: Sequence[float], window: Optional[int] = None
+) -> float:
+    """DTW cost only — O(len(a)) memory, the fast path for matching.
+
+    ``window`` is the Sakoe–Chiba band half-width in samples; None means
+    unconstrained alignment.
+    """
+    a, b = _validate(a, b)
+    n, m = len(a), len(b)
+    w = max(window, abs(n - m)) if window is not None else max(n, m)
+    inf = math.inf
+    prev = np.full(m + 1, inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = np.full(m + 1, inf)
+        lo = max(1, i - w)
+        hi = min(m, i + w)
+        for j in range(lo, hi + 1):
+            cost = abs(a[i - 1] - b[j - 1])
+            cur[j] = cost + min(prev[j], cur[j - 1], prev[j - 1])
+        prev = cur
+    return float(prev[m])
+
+
+def dtw_full(
+    a: Sequence[float], b: Sequence[float], window: Optional[int] = None
+) -> DtwResult:
+    """DTW with full cost matrix and the optimal warping path (Fig. 9c/d)."""
+    a, b = _validate(a, b)
+    n, m = len(a), len(b)
+    w = max(window, abs(n - m)) if window is not None else max(n, m)
+    inf = math.inf
+    acc = np.full((n + 1, m + 1), inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo = max(1, i - w)
+        hi = min(m, i + w)
+        for j in range(lo, hi + 1):
+            cost = abs(a[i - 1] - b[j - 1])
+            acc[i, j] = cost + min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+
+    # Backtrack the optimal path.
+    path: List[Tuple[int, int]] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        step = np.argmin([acc[i - 1, j - 1], acc[i - 1, j], acc[i, j - 1]])
+        if step == 0:
+            i, j = i - 1, j - 1
+        elif step == 1:
+            i -= 1
+        else:
+            j -= 1
+    path.reverse()
+    return DtwResult(float(acc[n, m]), path, acc[1:, 1:])

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the LocBLE reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class InsufficientDataError(ReproError):
+    """An algorithm received too few samples to produce a meaningful result.
+
+    The paper requires ~80 % of a 3.5-5 m L-shaped walk (Sec. 7.6.2); below
+    that the regression is under-determined and we refuse to guess.
+    """
+
+
+class EstimationError(ReproError):
+    """Location estimation failed to converge or produced no valid solution."""
+
+
+class PacketError(ReproError):
+    """A BLE advertising PDU could not be encoded or decoded."""
+
+
+class NotFittedError(ReproError):
+    """A learning component was used before :meth:`fit` was called."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive was given degenerate input."""

@@ -1,0 +1,11 @@
+"""Signal-processing substrate: Butterworth, Kalman/AKF, smoothing."""
+
+from repro.filters.butterworth import ButterworthLowPass, butter_lowpass_sos, sos_filter
+from repro.filters.kalman import AdaptiveKalman, ScalarKalman, adaptive_kalman_fuse
+from repro.filters.smoothing import differentiate, moving_average, moving_median
+
+__all__ = [
+    "ButterworthLowPass", "butter_lowpass_sos", "sos_filter",
+    "AdaptiveKalman", "ScalarKalman", "adaptive_kalman_fuse",
+    "differentiate", "moving_average", "moving_median",
+]

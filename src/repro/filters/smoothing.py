@@ -1,0 +1,67 @@
+"""Simple smoothing primitives: moving average and moving median.
+
+The step counter (Sec. 5.2.1) "first smoothes the accelerometer data by
+using the moving average filter"; the DTW preprocessing filters
+high-frequency noise before differentiating. Both live here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["moving_average", "moving_median", "differentiate"]
+
+
+def moving_average(x: Sequence[float], window: int) -> np.ndarray:
+    """Centred moving average with edge shrinking (no phantom zeros).
+
+    Near the edges the window shrinks symmetrically so the output has the
+    same length as the input and no start-up bias.
+    """
+    x = np.asarray(x, dtype=float)
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    if window == 1 or x.size == 0:
+        return x.copy()
+    half = window // 2
+    out = np.empty_like(x)
+    csum = np.concatenate([[0.0], np.cumsum(x)])
+    n = len(x)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = (csum[hi] - csum[lo]) / (hi - lo)
+    return out
+
+
+def moving_median(x: Sequence[float], window: int) -> np.ndarray:
+    """Centred moving median with edge shrinking."""
+    x = np.asarray(x, dtype=float)
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    if window == 1 or x.size == 0:
+        return x.copy()
+    half = window // 2
+    n = len(x)
+    out = np.empty_like(x)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = np.median(x[lo:hi])
+    return out
+
+
+def differentiate(x: Sequence[float]) -> np.ndarray:
+    """First difference, length ``len(x) - 1``.
+
+    The DTW clustering differentiates RSS sequences "to avoid using absolute
+    values" (Sec. 6.1) — device offsets cancel in the differences.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size < 2:
+        raise ConfigurationError("need at least two samples to differentiate")
+    return np.diff(x)

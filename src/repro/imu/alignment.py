@@ -1,0 +1,103 @@
+"""Phone→earth coordinate alignment (Sec. 5.2 of the paper).
+
+LocBLE makes its motion tracker independent of phone posture by rotating
+phone-frame sensor vectors into the earth frame ("the well-known coordinate
+alignment [22]"). We implement the standard construction: estimate gravity
+in the phone frame, build the rotation that maps it to earth-Z, and resolve
+the horizontal-plane yaw with the magnetometer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "rotation_matrix",
+    "euler_from_matrix",
+    "Posture",
+    "align_to_earth",
+    "gravity_direction",
+]
+
+GRAVITY_MS2 = 9.80665
+
+
+def rotation_matrix(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Intrinsic Z-Y-X (yaw-pitch-roll) rotation: earth = R @ phone."""
+    cr, sr = math.cos(roll), math.sin(roll)
+    cp, sp = math.cos(pitch), math.sin(pitch)
+    cy, sy = math.cos(yaw), math.sin(yaw)
+    rz = np.array([[cy, -sy, 0.0], [sy, cy, 0.0], [0.0, 0.0, 1.0]])
+    ry = np.array([[cp, 0.0, sp], [0.0, 1.0, 0.0], [-sp, 0.0, cp]])
+    rx = np.array([[1.0, 0.0, 0.0], [0.0, cr, -sr], [0.0, sr, cr]])
+    return rz @ ry @ rx
+
+
+def euler_from_matrix(r: np.ndarray) -> Tuple[float, float, float]:
+    """Recover (roll, pitch, yaw) from a Z-Y-X rotation matrix."""
+    if r.shape != (3, 3):
+        raise GeometryError("rotation matrix must be 3x3")
+    pitch = math.asin(max(-1.0, min(1.0, -r[2, 0])))
+    if abs(math.cos(pitch)) > 1e-9:
+        roll = math.atan2(r[2, 1], r[2, 2])
+        yaw = math.atan2(r[1, 0], r[0, 0])
+    else:  # gimbal lock: split is arbitrary; put everything into roll
+        roll = math.atan2(-r[0, 1], r[1, 1])
+        yaw = 0.0
+    return roll, pitch, yaw
+
+
+@dataclass(frozen=True)
+class Posture:
+    """How the user holds the phone: a fixed rotation from earth to phone."""
+
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+
+    def earth_to_phone(self) -> np.ndarray:
+        return rotation_matrix(self.roll, self.pitch, self.yaw).T
+
+    def phone_to_earth(self) -> np.ndarray:
+        return rotation_matrix(self.roll, self.pitch, self.yaw)
+
+
+def gravity_direction(accel_phone: np.ndarray) -> np.ndarray:
+    """Unit gravity vector in the phone frame from a low-passed accel sample.
+
+    At rest the accelerometer reads ``+g`` opposite to gravity; the mean of a
+    window of samples points along phone-frame "up".
+    """
+    v = np.asarray(accel_phone, dtype=float)
+    n = np.linalg.norm(v)
+    if n < 1e-9:
+        raise GeometryError("accelerometer vector is zero; cannot find gravity")
+    return v / n
+
+
+def align_to_earth(
+    accel_phone: np.ndarray, gravity_phone: np.ndarray, mag_phone: np.ndarray
+) -> np.ndarray:
+    """Rotate a phone-frame acceleration into the earth (ENU-like) frame.
+
+    ``gravity_phone`` is the estimated up direction in the phone frame (from
+    :func:`gravity_direction` over a smoothing window); ``mag_phone`` the
+    magnetometer vector. We build earth axes: Z = up, E = mag × up
+    (magnetic east), N = up × E, and project.
+    """
+    up = gravity_direction(gravity_phone)
+    mag = np.asarray(mag_phone, dtype=float)
+    east = np.cross(mag, up)
+    n = np.linalg.norm(east)
+    if n < 1e-9:
+        raise GeometryError("magnetometer parallel to gravity; heading undefined")
+    east /= n
+    north = np.cross(up, east)
+    basis = np.vstack([east, north, up])  # rows are earth axes in phone frame
+    return basis @ np.asarray(accel_phone, dtype=float)

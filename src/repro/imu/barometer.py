@@ -1,0 +1,85 @@
+"""Barometric pressure synthesis and altitude estimation.
+
+The 3-D extension (paper Sec. 9.3) needs the observer's elevation track.
+Phones carry a barometer whose short-term *relative* altitude is good to a
+few tens of centimetres — ideal for "did the user walk up the stairs/ramp"
+— while its absolute reading drifts with weather. We synthesise pressure
+from a true elevation profile via the barometric formula plus sensor noise
+and slow drift, and provide the inverse estimator apps use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.filters.smoothing import moving_average
+
+__all__ = ["BarometerModel", "altitude_from_pressure", "pressure_at_altitude"]
+
+#: Standard sea-level pressure (hPa) and the ~8.4 m/hPa lapse near ground.
+SEA_LEVEL_HPA = 1013.25
+HPA_PER_METRE = 1.0 / 8.43
+
+
+def pressure_at_altitude(altitude_m: float,
+                         reference_hpa: float = SEA_LEVEL_HPA) -> float:
+    """Pressure (hPa) at ``altitude_m`` using the linearised barometric law.
+
+    The linear model is accurate to millimetres over the few-metre
+    elevation changes a measurement walk can contain.
+    """
+    return reference_hpa - altitude_m * HPA_PER_METRE
+
+
+def altitude_from_pressure(pressure_hpa: float,
+                           reference_hpa: float = SEA_LEVEL_HPA) -> float:
+    """Altitude (m) relative to where the reference pressure was taken."""
+    return (reference_hpa - pressure_hpa) / HPA_PER_METRE
+
+
+@dataclass
+class BarometerModel:
+    """Synthesises a phone barometer's pressure stream.
+
+    ``noise_std_hpa`` is per-sample sensor noise (~0.02 hPa ≈ 0.17 m on
+    modern phones); ``drift_hpa_per_s`` a slow weather/sensor drift.
+    """
+
+    rng: np.random.Generator
+    noise_std_hpa: float = 0.02
+    drift_hpa_per_s: float = 2e-4
+    reference_hpa: float = SEA_LEVEL_HPA
+
+    def synthesize(self, timestamps: Sequence[float],
+                   altitudes_m: Sequence[float]) -> np.ndarray:
+        """Pressure samples (hPa) for a true altitude track."""
+        ts = np.asarray(timestamps, dtype=float)
+        alts = np.asarray(altitudes_m, dtype=float)
+        if ts.shape != alts.shape or ts.ndim != 1:
+            raise ConfigurationError("timestamps and altitudes must align")
+        true_p = np.array([
+            pressure_at_altitude(a, self.reference_hpa) for a in alts
+        ])
+        drift = self.drift_hpa_per_s * (ts - ts[0]) * float(
+            self.rng.choice([-1.0, 1.0])
+        )
+        noise = self.rng.normal(0.0, self.noise_std_hpa, size=len(ts))
+        return true_p + drift + noise
+
+    def estimate_relative_altitude(
+        self, pressure_hpa: Sequence[float], smooth_window: int = 9
+    ) -> np.ndarray:
+        """Relative altitude track (m, zeroed at the first sample).
+
+        Smooths the pressure first; the residual drift over a < 10 s
+        measurement is centimetres and ignored, as phone apps do.
+        """
+        p = moving_average(np.asarray(pressure_hpa, dtype=float),
+                           smooth_window)
+        alt = np.array([altitude_from_pressure(v, self.reference_hpa)
+                        for v in p])
+        return alt - alt[0]

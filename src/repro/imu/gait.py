@@ -1,0 +1,113 @@
+"""Accelerometer gait synthesis.
+
+Walking produces a near-periodic vertical acceleration at the *step*
+frequency (one peak per step, ~1.4–2.2 Hz). The step counter (Sec. 5.2.1)
+only needs the waveform's peak structure, so we synthesise user-acceleration
+magnitude (gravity removed, in g) as a fundamental plus a second harmonic
+with amplitude/phase jitter and sensor noise — matching the shape of the raw
+trace in the paper's Fig. 8(a).
+
+Step length and step frequency are coupled through the walker's speed; the
+inverse relation (frequency → length) is what the step-length model in
+:mod:`repro.motion.steplength` exploits, "inferring step length by inspecting
+the step frequency" [26].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GaitModel", "step_frequency_for_speed", "step_length_for_frequency"]
+
+#: Weinberg-style linear step model: length = A + B * frequency.
+_STEP_A = 0.25
+_STEP_B = 0.3
+
+
+def step_length_for_frequency(freq_hz: float) -> float:
+    """Step length (m) as a linear function of step frequency (Hz)."""
+    if freq_hz <= 0:
+        raise ConfigurationError("step frequency must be positive")
+    return _STEP_A + _STEP_B * freq_hz
+
+
+def step_frequency_for_speed(speed_ms: float) -> float:
+    """Invert speed = length(freq) * freq for the step frequency.
+
+    Solves ``B f^2 + A f - v = 0`` for the positive root.
+    """
+    if speed_ms <= 0:
+        raise ConfigurationError("speed must be positive")
+    disc = _STEP_A * _STEP_A + 4.0 * _STEP_B * speed_ms
+    return (-_STEP_A + math.sqrt(disc)) / (2.0 * _STEP_B)
+
+
+@dataclass
+class GaitModel:
+    """Synthesises the user-acceleration magnitude signal for a walk.
+
+    ``amplitude_g`` is the fundamental's amplitude; real phone traces run
+    0.2–0.5 g depending on pocket/hand carry. Jitter parameters give the
+    cycle-to-cycle variability that makes naive peak counting overcount.
+    """
+
+    rng: np.random.Generator
+    amplitude_g: float = 0.35
+    harmonic_ratio: float = 0.3
+    amplitude_jitter: float = 0.15
+    noise_std_g: float = 0.04
+
+    def synthesize(
+        self,
+        timestamps: np.ndarray,
+        walking: np.ndarray,
+        step_freq_hz: np.ndarray,
+    ) -> Tuple[np.ndarray, List[float]]:
+        """Generate the accel signal and the ground-truth step times.
+
+        ``walking`` is a boolean mask (is the user mid-walk at sample i);
+        ``step_freq_hz`` the instantaneous step frequency. Returns the signal
+        and the list of true step-event times (phase crossings of the gait
+        cycle), which experiments use as step-detection ground truth.
+        """
+        timestamps = np.asarray(timestamps, dtype=float)
+        if timestamps.ndim != 1 or len(timestamps) < 2:
+            raise ConfigurationError("need a 1-D timestamp array of length >= 2")
+        walking = np.asarray(walking, dtype=bool)
+        step_freq_hz = np.asarray(step_freq_hz, dtype=float)
+        if walking.shape != timestamps.shape or step_freq_hz.shape != timestamps.shape:
+            raise ConfigurationError("mask/frequency arrays must match timestamps")
+
+        signal = np.zeros_like(timestamps)
+        step_times: List[float] = []
+        phase = 0.0
+        cycle_amp = self._draw_amplitude()
+        for i in range(len(timestamps)):
+            if i > 0:
+                dt = timestamps[i] - timestamps[i - 1]
+                if walking[i]:
+                    new_phase = phase + 2.0 * math.pi * step_freq_hz[i] * dt
+                    # One step per 2*pi of phase; peak at phase = pi/2.
+                    if (phase % (2.0 * math.pi)) <= math.pi / 2.0 < (
+                        phase % (2.0 * math.pi)
+                    ) + (new_phase - phase):
+                        step_times.append(timestamps[i])
+                        cycle_amp = self._draw_amplitude()
+                    phase = new_phase
+            if walking[i]:
+                signal[i] = cycle_amp * (
+                    math.sin(phase)
+                    + self.harmonic_ratio * math.sin(2.0 * phase)
+                )
+        signal += self.rng.normal(0.0, self.noise_std_g, size=len(signal))
+        return signal, step_times
+
+    def _draw_amplitude(self) -> float:
+        jitter = self.rng.normal(0.0, self.amplitude_jitter)
+        return self.amplitude_g * max(0.4, 1.0 + jitter)

@@ -1,0 +1,58 @@
+"""Random forest over the CART tree (the paper's third candidate classifier)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with sqrt-feature splits."""
+
+    n_trees: int = 25
+    max_depth: int = 12
+    min_samples_leaf: int = 2
+    seed: int = 7
+    classes_: List = field(default_factory=list, init=False)
+    _trees: List[DecisionTreeClassifier] = field(default_factory=list, init=False)
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if self.n_trees < 1:
+            raise ConfigurationError("n_trees must be >= 1")
+        self.classes_ = sorted(set(y.tolist()))
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        max_features = max(1, int(math.sqrt(d)))
+        self._trees = []
+        for k in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + 1000 + k,
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("RandomForestClassifier.fit must be called first")
+        votes = np.stack([t.predict(x) for t in self._trees])
+        out = []
+        for col in range(votes.shape[1]):
+            vals, counts = np.unique(votes[:, col], return_counts=True)
+            out.append(vals[np.argmax(counts)])
+        return np.array(out)

@@ -1,0 +1,129 @@
+"""Kernel functions and a kernelised SVM (the "various kernels" the paper tried).
+
+Sec. 4.1 reports trying "SVM with various kernels" before settling on the
+linear one. We provide linear, RBF and polynomial kernels plus a simple
+kernel SVM trained by kernelised Pegasos so the classifier comparison in the
+EnvAware benchmark can reproduce that model-selection step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["linear_kernel", "rbf_kernel", "poly_kernel", "KernelSVM", "MultiClassKernelSVM"]
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gram matrix of dot products: K[i, j] = a_i . b_j."""
+    return np.asarray(a, dtype=float) @ np.asarray(b, dtype=float).T
+
+
+def rbf_kernel(gamma: float = 0.5) -> Kernel:
+    """Gaussian RBF kernel factory: K = exp(-gamma ||a - b||^2)."""
+    if gamma <= 0:
+        raise ConfigurationError("gamma must be positive")
+
+    def k(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        aa = np.sum(a * a, axis=1)[:, None]
+        bb = np.sum(b * b, axis=1)[None, :]
+        d2 = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+        return np.exp(-gamma * d2)
+
+    return k
+
+
+def poly_kernel(degree: int = 3, coef0: float = 1.0) -> Kernel:
+    """Polynomial kernel factory: K = (a . b + coef0)^degree."""
+    if degree < 1:
+        raise ConfigurationError("degree must be >= 1")
+
+    def k(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (linear_kernel(a, b) + coef0) ** degree
+
+    return k
+
+
+@dataclass
+class KernelSVM:
+    """Binary kernel SVM via kernelised Pegasos (labels ±1)."""
+
+    kernel: Kernel
+    lam: float = 1e-2
+    epochs: int = 20
+    seed: int = 7
+    alphas_: Optional[np.ndarray] = field(default=None, init=False)
+    x_train_: Optional[np.ndarray] = field(default=None, init=False)
+    y_train_: Optional[np.ndarray] = field(default=None, init=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KernelSVM":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if set(np.unique(y)) - {-1.0, 1.0}:
+            raise ConfigurationError("binary SVM labels must be -1/+1")
+        n = len(x)
+        gram = self.kernel(x, x)
+        alphas = np.zeros(n)
+        rng = np.random.default_rng(self.seed)
+        t = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                t += 1
+                decision = (alphas * y) @ gram[:, i] / (self.lam * t)
+                if y[i] * decision < 1.0:
+                    alphas[i] += 1.0
+        self.alphas_ = alphas
+        self.x_train_ = x
+        self.y_train_ = y
+        self._t = t
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.alphas_ is None:
+            raise NotFittedError("KernelSVM.fit must be called first")
+        k = self.kernel(self.x_train_, np.asarray(x, dtype=float))
+        return (self.alphas_ * self.y_train_) @ k / (self.lam * self._t)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.where(self.decision_function(x) >= 0.0, 1, -1)
+
+
+@dataclass
+class MultiClassKernelSVM:
+    """One-vs-rest wrapper around :class:`KernelSVM`."""
+
+    kernel: Kernel
+    lam: float = 1e-2
+    epochs: int = 20
+    seed: int = 7
+    classes_: List = field(default_factory=list, init=False)
+    _machines: List[KernelSVM] = field(default_factory=list, init=False)
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "MultiClassKernelSVM":
+        y = np.asarray(y)
+        self.classes_ = sorted(set(y.tolist()))
+        if len(self.classes_) < 2:
+            raise ConfigurationError("need at least two classes")
+        self._machines = []
+        for k, cls in enumerate(self.classes_):
+            labels = np.where(y == cls, 1.0, -1.0)
+            m = KernelSVM(self.kernel, lam=self.lam, epochs=self.epochs,
+                          seed=self.seed + k)
+            m.fit(np.asarray(x, dtype=float), labels)
+            self._machines.append(m)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._machines:
+            raise NotFittedError("MultiClassKernelSVM.fit must be called first")
+        scores = np.column_stack([m.decision_function(x) for m in self._machines])
+        idx = np.argmax(scores, axis=1)
+        return np.array([self.classes_[i] for i in idx])

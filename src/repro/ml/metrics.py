@@ -1,0 +1,73 @@
+"""Classification metrics: confusion matrix, precision/recall/F1, accuracy.
+
+The paper reports EnvAware at "94.7% precision and 94.5% recall for our
+three-type classification" — macro-averaged over the three classes, which is
+what :func:`precision_recall_f1` computes by default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["confusion_matrix", "accuracy", "precision_recall_f1"]
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence = None
+) -> Tuple[np.ndarray, List]:
+    """Confusion matrix C[i, j] = #samples of true class i predicted as j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ConfigurationError("y_true and y_pred must align")
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    labels = list(labels)
+    index = {lab: i for i, lab in enumerate(labels)}
+    c = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        c[index[t], index[p]] += 1
+    return c, labels
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ConfigurationError("y_true and y_pred must align")
+    if y_true.size == 0:
+        raise ConfigurationError("cannot score an empty prediction set")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(
+    y_true: Sequence, y_pred: Sequence, average: str = "macro"
+) -> Dict[str, float]:
+    """Macro- or micro-averaged precision, recall and F1.
+
+    Classes absent from predictions contribute precision 0 (macro mode), the
+    conservative convention.
+    """
+    if average not in ("macro", "micro"):
+        raise ConfigurationError("average must be 'macro' or 'micro'")
+    c, labels = confusion_matrix(y_true, y_pred)
+    tp = np.diag(c).astype(float)
+    fp = c.sum(axis=0) - tp
+    fn = c.sum(axis=1) - tp
+    if average == "micro":
+        precision = tp.sum() / max(tp.sum() + fp.sum(), 1e-12)
+        recall = tp.sum() / max(tp.sum() + fn.sum(), 1e-12)
+    else:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            per_p = np.where(tp + fp > 0, tp / np.maximum(tp + fp, 1e-12), 0.0)
+            per_r = np.where(tp + fn > 0, tp / np.maximum(tp + fn, 1e-12), 0.0)
+        precision = float(np.mean(per_p))
+        recall = float(np.mean(per_r))
+    f1 = 0.0
+    if precision + recall > 0:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return {"precision": float(precision), "recall": float(recall), "f1": float(f1)}

@@ -1,0 +1,66 @@
+"""Dataset splitting and cross-validation utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.metrics import accuracy
+
+__all__ = ["train_test_split", "k_fold_indices", "cross_val_accuracy"]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: Sequence,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (x_train, x_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError("test_fraction must be in (0, 1)")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ConfigurationError("x and y must align")
+    n = len(x)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ConfigurationError("split leaves no training data")
+    order = rng.permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]
+
+
+def k_fold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) for k shuffled folds."""
+    if k < 2 or k > n:
+        raise ConfigurationError("k must be in [2, n]")
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train_idx, test_idx
+
+
+def cross_val_accuracy(
+    model_factory,
+    x: np.ndarray,
+    y: Sequence,
+    k: int,
+    rng: np.random.Generator,
+) -> List[float]:
+    """K-fold accuracy of ``model_factory()`` instances (fit/predict API)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in k_fold_indices(len(x), k, rng):
+        model = model_factory()
+        model.fit(x[train_idx], y[train_idx])
+        scores.append(accuracy(y[test_idx], model.predict(x[test_idx])))
+    return scores

@@ -1,0 +1,49 @@
+"""Feature standardisation (the ``sklearn.preprocessing.StandardScaler`` role).
+
+EnvAware's feature vector is "composed of the standardized 9 values"
+(Sec. 4.1) — zero mean, unit variance per feature, with the statistics
+learned on training data and reapplied at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["StandardScaler"]
+
+
+@dataclass
+class StandardScaler:
+    """Per-feature standardisation to zero mean and unit variance."""
+
+    mean_: Optional[np.ndarray] = field(default=None, init=False)
+    scale_: Optional[np.ndarray] = field(default=None, init=False)
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant features scale to 1 so they map to exactly zero.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.fit must be called first")
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.fit must be called first")
+        return np.asarray(x, dtype=float) * self.scale_ + self.mean_

@@ -1,0 +1,132 @@
+"""CART decision tree (one of the classifiers the paper benchmarked against).
+
+Axis-aligned binary splits chosen by Gini impurity, with depth / leaf-size
+stopping rules. Supports feature subsampling per split so the random forest
+can reuse it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: Optional[int] = None  # class index, set on leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Gini-impurity CART classifier."""
+
+    max_depth: int = 12
+    min_samples_leaf: int = 2
+    max_features: Optional[int] = None  # per-split subsample; None = all
+    seed: int = 7
+    classes_: List = field(default_factory=list, init=False)
+    _root: Optional[_Node] = field(default=None, init=False)
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ConfigurationError("x must be 2-D and align with y")
+        if self.max_depth < 1 or self.min_samples_leaf < 1:
+            raise ConfigurationError("invalid stopping parameters")
+        self.classes_ = sorted(set(y.tolist()))
+        y_idx = np.array([self.classes_.index(v) for v in y.tolist()])
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(x, y_idx, depth=0, rng=rng)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int,
+              rng: np.random.Generator) -> _Node:
+        counts = np.bincount(y, minlength=len(self.classes_))
+        majority = int(np.argmax(counts))
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or counts.max() == len(y)
+        ):
+            return _Node(prediction=majority)
+
+        n_features = x.shape[1]
+        if self.max_features is None:
+            feature_pool = np.arange(n_features)
+        else:
+            k = min(self.max_features, n_features)
+            feature_pool = rng.choice(n_features, size=k, replace=False)
+
+        best = (None, None, _gini(counts))  # (feature, threshold, impurity)
+        for f in feature_pool:
+            order = np.argsort(x[:, f], kind="stable")
+            xs, ys = x[order, f], y[order]
+            left_counts = np.zeros(len(self.classes_))
+            right_counts = counts.astype(float).copy()
+            for i in range(len(ys) - 1):
+                left_counts[ys[i]] += 1
+                right_counts[ys[i]] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                nl, nr = i + 1, len(ys) - i - 1
+                if nl < self.min_samples_leaf or nr < self.min_samples_leaf:
+                    continue
+                impurity = (nl * _gini(left_counts) + nr * _gini(right_counts)) / len(ys)
+                if impurity < best[2] - 1e-12:
+                    best = (int(f), (xs[i] + xs[i + 1]) / 2.0, impurity)
+
+        if best[0] is None:
+            return _Node(prediction=majority)
+        feature, threshold, _ = best
+        mask = x[:, feature] <= threshold
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(x[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier.fit must be called first")
+        x = np.asarray(x, dtype=float)
+        out = []
+        for row in x:
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out.append(self.classes_[node.prediction])
+        return np.array(out)
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a single leaf)."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier.fit must be called first")
+        return walk(self._root)

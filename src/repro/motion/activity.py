@@ -1,0 +1,103 @@
+"""Walking/stationary activity detection (the Fig. 3 "Is target moving?" box).
+
+Algorithm 1 branches on whether the target is moving; the moving-target mode
+also needs to know when the *observer* pauses (paused stretches contribute
+no geometry and dilute the regression). A light activity classifier over
+accelerometer windows answers both: walking shows a strong periodic
+component at gait frequencies plus high variance; standing shows neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import ImuTrace
+
+__all__ = ["Activity", "ActivityDetector"]
+
+
+class Activity:
+    """Activity labels."""
+
+    WALKING = "walking"
+    STATIONARY = "stationary"
+
+
+@dataclass
+class ActivityDetector:
+    """Windowed walking/stationary classifier over user acceleration.
+
+    A window counts as walking when (a) its RMS exceeds ``rms_threshold_g``
+    and (b) the dominant spectral component sits in the human gait band
+    (``gait_band_hz``) and carries at least ``periodicity_ratio`` of the
+    window's AC energy. Both tests together reject bumpy-but-aperiodic
+    handling noise.
+    """
+
+    window_s: float = 1.5
+    rms_threshold_g: float = 0.08
+    gait_band_hz: Tuple[float, float] = (1.2, 2.6)
+    periodicity_ratio: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        if not 0.0 < self.periodicity_ratio < 1.0:
+            raise ConfigurationError("periodicity_ratio must be in (0, 1)")
+        if self.gait_band_hz[0] >= self.gait_band_hz[1]:
+            raise ConfigurationError("gait band must be (low, high)")
+
+    def classify_window(self, accel: np.ndarray, fs_hz: float) -> str:
+        """Label one acceleration window."""
+        accel = np.asarray(accel, dtype=float)
+        if accel.size < 8 or fs_hz <= 0:
+            return Activity.STATIONARY
+        ac = accel - np.mean(accel)
+        rms = float(np.sqrt(np.mean(ac**2)))
+        if rms < self.rms_threshold_g:
+            return Activity.STATIONARY
+        spectrum = np.abs(np.fft.rfft(ac)) ** 2
+        freqs = np.fft.rfftfreq(len(ac), d=1.0 / fs_hz)
+        total = float(np.sum(spectrum[1:])) + 1e-12
+        band = (freqs >= self.gait_band_hz[0]) & (freqs <= self.gait_band_hz[1])
+        band_energy = float(np.sum(spectrum[band]))
+        if band_energy / total >= self.periodicity_ratio:
+            return Activity.WALKING
+        return Activity.STATIONARY
+
+    def segments(self, trace: ImuTrace) -> List[Tuple[float, float, str]]:
+        """(t_start, t_end, label) runs over the trace, windows merged."""
+        if len(trace) < 2:
+            return []
+        ts = trace.timestamps()
+        accel = trace.accel()
+        fs = trace.rate_hz()
+        labels: List[Tuple[float, float, str]] = []
+        t = float(ts[0])
+        t_end = float(ts[-1])
+        while t < t_end:
+            mask = (ts >= t) & (ts < t + self.window_s)
+            if int(mask.sum()) >= 8:
+                label = self.classify_window(accel[mask], fs)
+                window_end = min(t + self.window_s, t_end)
+                if labels and labels[-1][2] == label and \
+                        abs(labels[-1][1] - t) < 1e-9:
+                    labels[-1] = (labels[-1][0], window_end, label)
+                else:
+                    labels.append((t, window_end, label))
+            t += self.window_s
+        return labels
+
+    def is_moving(self, trace: ImuTrace) -> bool:
+        """Was the carrier walking for the majority of the trace?"""
+        segs = self.segments(trace)
+        if not segs:
+            return False
+        walking = sum(t1 - t0 for t0, t1, lab in segs
+                      if lab == Activity.WALKING)
+        total = sum(t1 - t0 for t0, t1, _ in segs)
+        return walking > total / 2.0

@@ -1,0 +1,71 @@
+"""Step-length estimation from step frequency (Sec. 5.2.1).
+
+The paper infers walking distance by combining detected steps with a step
+*length*, "inspecting the step frequency" as in [26]. We use the standard
+linear frequency→length model; its coefficients are the library's defaults
+for human gait, and :class:`StepLengthModel` allows per-user calibration.
+Note this is an independent estimator, not a readback of the simulator's
+gait parameters: experiments validate that the estimated walking distance
+lands near ground truth (the paper reports ~94.77 % distance accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.motion.stepcounter import DetectedStep
+
+__all__ = ["StepLengthModel", "walking_distance"]
+
+
+@dataclass(frozen=True)
+class StepLengthModel:
+    """Linear step model: length (m) = a + b * frequency (Hz), clamped.
+
+    Defaults match typical adult gait (0.55–0.9 m steps at 1–2.2 Hz).
+    """
+
+    a: float = 0.25
+    b: float = 0.3
+    min_length_m: float = 0.4
+    max_length_m: float = 1.0
+
+    def length_for_frequency(self, freq_hz: float) -> float:
+        if freq_hz <= 0:
+            raise ConfigurationError("step frequency must be positive")
+        return min(self.max_length_m, max(self.min_length_m, self.a + self.b * freq_hz))
+
+
+def walking_distance(
+    steps: Sequence[DetectedStep],
+    model: StepLengthModel = StepLengthModel(),
+    freq_window: int = 3,
+) -> float:
+    """Total walked distance from detected steps.
+
+    Each step's length uses the local step frequency, estimated over the last
+    ``freq_window`` inter-step intervals — responsive to pace changes without
+    being whipsawed by single-step jitter.
+    """
+    if len(steps) == 0:
+        return 0.0
+    if len(steps) == 1:
+        # One step with no rate information: use the model's nominal length.
+        return model.length_for_frequency(1.8)
+    total = 0.0
+    times = [s.time for s in steps]
+    for i in range(1, len(times)):
+        lo = max(0, i - freq_window)
+        span = times[i] - times[lo]
+        n_intervals = i - lo
+        if span <= 0:
+            raise InsufficientDataError("step times must be strictly increasing")
+        freq = n_intervals / span
+        total += model.length_for_frequency(freq)
+    # The first step also covers ground; charge it at the initial rate.
+    first_span = times[min(freq_window, len(times) - 1)] - times[0]
+    first_freq = min(freq_window, len(times) - 1) / first_span if first_span > 0 else 1.8
+    total += model.length_for_frequency(first_freq)
+    return total

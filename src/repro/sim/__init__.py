@@ -1,0 +1,23 @@
+"""Trace generation: measurement simulation, datasets, persistence."""
+
+from repro.sim.datasets import EnvDatasetBuilder, LabeledWindow, windows_from_trace
+from repro.sim.montecarlo import TrialSummary, empirical_cdf, stationary_trials, summarize
+from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
+from repro.sim.simulator3d import Measurement3D, Simulator3D, ramp_profile
+from repro.sim.traces import (
+    imu_trace_from_dict,
+    imu_trace_to_dict,
+    load_session,
+    rssi_trace_from_dict,
+    rssi_trace_to_dict,
+    save_session,
+)
+
+__all__ = [
+    "EnvDatasetBuilder", "LabeledWindow", "windows_from_trace", "BeaconSpec",
+    "MeasurementRecord", "Simulator", "Measurement3D", "Simulator3D",
+    "ramp_profile", "TrialSummary", "empirical_cdf", "stationary_trials",
+    "summarize", "imu_trace_from_dict",
+    "imu_trace_to_dict", "load_session", "rssi_trace_from_dict",
+    "rssi_trace_to_dict", "save_session",
+]

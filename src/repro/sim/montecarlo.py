@@ -1,0 +1,118 @@
+"""Monte-Carlo experiment orchestration: trials, summaries, CDFs.
+
+The benchmarks all share one skeleton — run N seeded measurement trials,
+collect errors, summarise. This module makes that skeleton a public API so
+downstream users can run their own sweeps in a few lines::
+
+    from repro.sim.montecarlo import stationary_trials, summarize
+
+    errors = stationary_trials(scenario(3), seeds=range(20))
+    print(summarize(errors))
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import EllipticalEstimator
+from repro.core.pipeline import LocBLE
+from repro.errors import ConfigurationError, ReproError
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.world.scenarios import Scenario
+from repro.world.trajectory import l_shape
+
+__all__ = ["TrialSummary", "stationary_trials", "summarize", "empirical_cdf"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of one error sample."""
+
+    n: int
+    n_failed: int
+    mean: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.n} (failed {self.n_failed}) "
+                f"mean={self.mean:.2f} median={self.median:.2f} "
+                f"p75={self.p75:.2f} p90={self.p90:.2f} "
+                f"max={self.maximum:.2f}")
+
+
+def stationary_trials(
+    scenario: Scenario,
+    seeds: Iterable[int],
+    pipeline_factory: Optional[Callable[[], LocBLE]] = None,
+    use_env_prior: bool = True,
+    legs: Tuple[float, float] = (2.8, 2.2),
+    failure_value: Optional[float] = None,
+) -> List[float]:
+    """Run seeded stationary-target measurements; return per-trial errors.
+
+    ``failure_value`` replaces trials where the pipeline refuses to estimate
+    (None drops them). With ``use_env_prior`` the estimator is configured
+    with the scenario's true dominant environment class — what EnvAware
+    would supply at runtime.
+    """
+    errors: List[float] = []
+    env = scenario.floorplan.classify_link(
+        scenario.beacon_position, scenario.observer_start).env_class
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        sim = Simulator(scenario.floorplan, rng)
+        walk = l_shape(scenario.observer_start, scenario.observer_heading_rad,
+                       leg1=legs[0], leg2=legs[1])
+        rec = sim.simulate(walk, [
+            BeaconSpec("target", position=scenario.beacon_position)])
+        if pipeline_factory is not None:
+            pipeline = pipeline_factory()
+        elif use_env_prior:
+            pipeline = LocBLE(
+                estimator=EllipticalEstimator().with_environment(env))
+        else:
+            pipeline = LocBLE()
+        try:
+            est = pipeline.estimate(rec.rssi_traces["target"],
+                                    rec.observer_imu.trace)
+            errors.append(est.error_to(rec.true_position_in_frame("target")))
+        except ReproError:
+            if failure_value is not None:
+                errors.append(failure_value)
+    return errors
+
+
+def summarize(errors: Sequence[float], n_failed: int = 0) -> TrialSummary:
+    """Summary statistics for an error sample."""
+    e = np.asarray(list(errors), dtype=float)
+    if e.size == 0:
+        raise ConfigurationError("cannot summarise an empty error sample")
+    if not np.all(np.isfinite(e)):
+        raise ConfigurationError("error sample contains non-finite values")
+    return TrialSummary(
+        n=int(e.size),
+        n_failed=n_failed,
+        mean=float(np.mean(e)),
+        median=float(np.median(e)),
+        p75=float(np.percentile(e, 75)),
+        p90=float(np.percentile(e, 90)),
+        maximum=float(np.max(e)),
+    )
+
+
+def empirical_cdf(
+    errors: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted errors, cumulative fractions) — ready to plot or tabulate."""
+    e = np.sort(np.asarray(list(errors), dtype=float))
+    if e.size == 0:
+        raise ConfigurationError("cannot build a CDF from an empty sample")
+    fractions = (np.arange(e.size) + 1) / e.size
+    return e, fractions

@@ -1,0 +1,203 @@
+"""End-to-end measurement simulation: world + channel + BLE + IMU.
+
+:class:`Simulator` produces a :class:`MeasurementRecord` — everything a
+LocBLE measurement session would collect on a phone (RSSI traces per beacon,
+the observer's IMU stream, and, for moving targets, the target's IMU
+stream), plus the ground truth an experiment scores against. The LocBLE
+core consumes only the sensor-facing fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ble.advertiser import Advertiser
+from repro.ble.devices import BEACONS, PHONES, BeaconProfile, PhoneProfile
+from repro.ble.interference import CrowdInterference
+from repro.ble.scanner import CODED_PHY_SENSITIVITY_GAIN_DB, Scanner
+from repro.channel.link import RadioLink
+from repro.errors import ConfigurationError
+from repro.imu.sensors import ImuSynthesizer, SynthesizedImu
+from repro.types import RssiSample, RssiTrace, Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.trajectory import Trajectory
+
+__all__ = ["BeaconSpec", "MeasurementRecord", "Simulator"]
+
+
+@dataclass
+class BeaconSpec:
+    """One beacon in a scenario: static at ``position`` or on a trajectory."""
+
+    beacon_id: str
+    position: Optional[Vec2] = None
+    trajectory: Optional[Trajectory] = None
+    profile: BeaconProfile = field(default_factory=lambda: BEACONS["estimote"])
+
+    def __post_init__(self) -> None:
+        if (self.position is None) == (self.trajectory is None):
+            raise ConfigurationError(
+                "a beacon needs exactly one of position / trajectory"
+            )
+
+    @property
+    def moving(self) -> bool:
+        return self.trajectory is not None
+
+    def position_at(self, t: float) -> Vec2:
+        if self.trajectory is not None:
+            return self.trajectory.position_at(t)
+        return self.position
+
+
+@dataclass
+class MeasurementRecord:
+    """One simulated measurement session with its ground truth."""
+
+    observer_trajectory: Trajectory
+    observer_imu: SynthesizedImu
+    rssi_traces: Dict[str, RssiTrace]
+    env_labels: Dict[str, List[str]]  # per-sample true env class, aligned
+    beacons: Dict[str, BeaconSpec]
+    floorplan: Floorplan
+    phone: PhoneProfile
+    target_imu: Optional[SynthesizedImu] = None
+    target_id: Optional[str] = None
+
+    def true_position_in_frame(self, beacon_id: str, t: Optional[float] = None) -> Vec2:
+        """Ground-truth beacon position in the measurement frame.
+
+        For moving targets the paper scores error "at its initial location",
+        so ``t`` defaults to the measurement start.
+        """
+        spec = self.beacons[beacon_id]
+        when = self.observer_trajectory.times[0] if t is None else t
+        return self.observer_trajectory.to_frame(spec.position_at(when))
+
+    def true_distance(self, beacon_id: str, t: Optional[float] = None) -> float:
+        """Ground-truth observer-origin → beacon distance (metres)."""
+        return self.true_position_in_frame(beacon_id, t).norm()
+
+
+@dataclass
+class Simulator:
+    """Generates measurement sessions on a floorplan.
+
+    ``crowd`` (optional) models a crowded deployment (Sec. 9.2): audible
+    ambient BLE devices add scan-contention loss and RSS jitter on top of
+    any explicit ``interference_loss_prob``.
+    """
+
+    floorplan: Floorplan
+    rng: np.random.Generator
+    phone: PhoneProfile = field(default_factory=lambda: PHONES["iphone_6s"])
+    interference_loss_prob: float = 0.0
+    fading_enabled: bool = True
+    #: Optional small-scale fading coherence time (s) forwarded to every
+    #: link; None keeps packets' fades independent.
+    fading_coherence_s: Optional[float] = None
+    imu_rate_hz: float = 50.0
+    crowd: Optional["CrowdInterference"] = None
+
+    def simulate(
+        self,
+        observer: Trajectory,
+        beacons: List[BeaconSpec],
+        t_pad_s: float = 0.5,
+    ) -> MeasurementRecord:
+        """Run one measurement session along the observer trajectory."""
+        if not beacons:
+            raise ConfigurationError("need at least one beacon")
+        ids = [b.beacon_id for b in beacons]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("beacon ids must be unique")
+
+        t0 = observer.times[0]
+        t1 = observer.times[-1] + t_pad_s
+
+        interference = self.interference_loss_prob
+        crowd_jitter = 0.0
+        if self.crowd is not None:
+            crowd_loss = self.crowd.loss_probability(len(beacons))
+            interference = 1.0 - (1.0 - interference) * (1.0 - crowd_loss)
+            crowd_jitter = self.crowd.extra_jitter_db(len(beacons))
+        scanner = Scanner(
+            self.phone,
+            self.rng,
+            interference_loss_prob=min(interference, 0.95),
+        )
+        traces: Dict[str, RssiTrace] = {}
+        env_labels: Dict[str, List[str]] = {}
+        for spec in beacons:
+            link = RadioLink(
+                floorplan=self.floorplan,
+                rng=self.rng,
+                gamma_dbm=spec.profile.gamma_dbm,
+                rx_noise_offset_db=self.phone.rx_offset_db,
+                rx_jitter_std_db=self.phone.rx_jitter_std_db,
+                fading_enabled=self.fading_enabled,
+                fading_coherence_s=self.fading_coherence_s,
+                quantise=False,  # quantise last, after beacon tx jitter
+            )
+            advertiser = Advertiser(spec.profile, self.rng)
+            raw: List[RssiSample] = []
+            labels: List[str] = []
+            for ev in advertiser.events(t0, t1):
+                tx = spec.position_at(ev.timestamp)
+                rx = observer.position_at(ev.timestamp)
+                obs = link.observe(tx, rx, ev.timestamp, ev.channel)
+                rssi = obs.rss_dbm
+                if spec.profile.tx_jitter_std_db > 0:
+                    rssi += float(
+                        self.rng.normal(0.0, spec.profile.tx_jitter_std_db)
+                    )
+                if crowd_jitter > 0.0:
+                    rssi += float(self.rng.normal(0.0, crowd_jitter))
+                raw.append(
+                    RssiSample(
+                        ev.timestamp, float(round(rssi)), spec.beacon_id, ev.channel
+                    )
+                )
+                labels.append(obs.env_class)
+            if spec.profile.coded_phy:
+                # The long-range coded PHY decodes a few dB deeper.
+                scanner.sensitivity_dbm = (
+                    Scanner.__dataclass_fields__["sensitivity_dbm"].default
+                    - CODED_PHY_SENSITIVITY_GAIN_DB
+                )
+            else:
+                scanner.sensitivity_dbm = Scanner.__dataclass_fields__[
+                    "sensitivity_dbm"
+                ].default
+            kept = scanner.filter_indices(raw)
+            traces[spec.beacon_id] = RssiTrace([raw[i] for i in kept])
+            env_labels[spec.beacon_id] = [labels[i] for i in kept]
+
+        imu_synth = ImuSynthesizer(self.rng, rate_hz=self.imu_rate_hz)
+        observer_imu = imu_synth.synthesize(observer, t_pad_s=t_pad_s)
+
+        target_imu = None
+        target_id = None
+        movers = [b for b in beacons if b.moving]
+        if movers:
+            if len(movers) > 1:
+                raise ConfigurationError("at most one moving target per session")
+            target_id = movers[0].beacon_id
+            target_imu = ImuSynthesizer(self.rng, rate_hz=self.imu_rate_hz).synthesize(
+                movers[0].trajectory, t_pad_s=t_pad_s
+            )
+
+        return MeasurementRecord(
+            observer_trajectory=observer,
+            observer_imu=observer_imu,
+            rssi_traces=traces,
+            env_labels=env_labels,
+            beacons={b.beacon_id: b for b in beacons},
+            floorplan=self.floorplan,
+            phone=self.phone,
+            target_imu=target_imu,
+            target_id=target_id,
+        )

@@ -1,0 +1,94 @@
+"""Trace (de)serialisation: JSON persistence for collected sessions.
+
+Real deployments log traces on the phone and analyse them offline (the
+paper's own evaluation is a trace analysis over a ~300 MB dataset). This
+module round-trips RSSI and IMU traces through a stable JSON schema so
+example scripts and tests can save, share and reload sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import ConfigurationError
+from repro.types import ImuSample, ImuTrace, RssiSample, RssiTrace
+
+__all__ = [
+    "rssi_trace_to_dict",
+    "rssi_trace_from_dict",
+    "imu_trace_to_dict",
+    "imu_trace_from_dict",
+    "save_session",
+    "load_session",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def rssi_trace_to_dict(trace: RssiTrace) -> dict:
+    return {
+        "type": "rssi",
+        "samples": [
+            [s.timestamp, s.rssi, s.beacon_id, s.channel] for s in trace.samples
+        ],
+    }
+
+
+def rssi_trace_from_dict(d: dict) -> RssiTrace:
+    if d.get("type") != "rssi":
+        raise ConfigurationError("not an RSSI trace record")
+    return RssiTrace(
+        [RssiSample(float(t), float(v), str(b), int(c))
+         for t, v, b, c in d["samples"]]
+    )
+
+
+def imu_trace_to_dict(trace: ImuTrace) -> dict:
+    return {
+        "type": "imu",
+        "samples": [
+            [s.timestamp, s.accel, s.gyro_z, s.mag_heading] for s in trace.samples
+        ],
+    }
+
+
+def imu_trace_from_dict(d: dict) -> ImuTrace:
+    if d.get("type") != "imu":
+        raise ConfigurationError("not an IMU trace record")
+    return ImuTrace(
+        [ImuSample(float(t), float(a), float(g), float(m))
+         for t, a, g, m in d["samples"]]
+    )
+
+
+def save_session(
+    path: Union[str, Path],
+    rssi_traces: Dict[str, RssiTrace],
+    imu_trace: ImuTrace,
+    metadata: dict = None,
+) -> None:
+    """Persist one measurement session (all beacons + observer IMU) as JSON."""
+    doc = {
+        "schema_version": _SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "rssi": {bid: rssi_trace_to_dict(t) for bid, t in rssi_traces.items()},
+        "imu": imu_trace_to_dict(imu_trace),
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_session(path: Union[str, Path]):
+    """Load a session saved by :func:`save_session`.
+
+    Returns ``(rssi_traces, imu_trace, metadata)``.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema_version") != _SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported session schema {doc.get('schema_version')!r}"
+        )
+    rssi = {bid: rssi_trace_from_dict(d) for bid, d in doc["rssi"].items()}
+    imu = imu_trace_from_dict(doc["imu"])
+    return rssi, imu, doc.get("metadata", {})

@@ -1,0 +1,26 @@
+"""Geometry substrate: floorplans, obstacles and walking trajectories."""
+
+from repro.world.builder import (
+    apartment_layout,
+    office_layout,
+    random_clutter,
+    store_layout,
+)
+from repro.world.floorplan import Floorplan, LinkState
+from repro.world.geometry import Segment, point_segment_distance, segments_intersect, wrap_angle
+from repro.world.obstacles import MATERIALS, Material, Obstacle, wall
+from repro.world.trajectory import (
+    DEFAULT_WALK_SPEED,
+    Trajectory,
+    l_shape,
+    random_waypoint_walk,
+    straight_walk,
+)
+
+__all__ = [
+    "Floorplan", "LinkState", "Segment", "point_segment_distance",
+    "segments_intersect", "wrap_angle", "MATERIALS", "Material", "Obstacle",
+    "wall", "DEFAULT_WALK_SPEED", "Trajectory", "l_shape",
+    "apartment_layout", "office_layout", "random_clutter", "store_layout",
+    "random_waypoint_walk", "straight_walk",
+]

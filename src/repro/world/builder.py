@@ -1,0 +1,116 @@
+"""Floorplan builders: parametric generators for common deployment layouts.
+
+The Table-1 presets are fixed rooms; these builders generate *families* of
+environments for larger sweeps — a store with configurable rack aisles, an
+office with partition rows, an apartment with interior walls — so
+experiments can randomise over layout instead of only over channel noise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.obstacles import Obstacle, wall
+
+__all__ = ["store_layout", "office_layout", "apartment_layout",
+           "random_clutter"]
+
+
+def store_layout(
+    width: float = 12.0,
+    depth: float = 10.0,
+    n_aisles: int = 3,
+    rack_material: str = "shelf_rack",
+    aisle_margin: float = 1.2,
+) -> Floorplan:
+    """A retail floor with ``n_aisles`` parallel rack rows.
+
+    Racks run east–west, evenly spaced in depth, leaving ``aisle_margin``
+    clear at the south and north walls for the entrance and back aisle.
+    """
+    if n_aisles < 1:
+        raise ConfigurationError("need at least one aisle")
+    if depth <= 2 * aisle_margin:
+        raise ConfigurationError("store too shallow for the aisle margins")
+    obstacles: List[Obstacle] = []
+    usable = depth - 2 * aisle_margin
+    for k in range(n_aisles):
+        y = aisle_margin + usable * (k + 0.5) / n_aisles
+        obstacles.append(
+            wall(width * 0.12, y, width * 0.88, y, rack_material))
+    return Floorplan(f"store_{n_aisles}aisles", width, depth,
+                     obstacles=obstacles)
+
+
+def office_layout(
+    width: float = 14.0,
+    depth: float = 10.0,
+    n_partition_rows: int = 2,
+    door_gap: float = 1.4,
+) -> Floorplan:
+    """An office with drywall partition rows, each pierced by a door gap."""
+    if n_partition_rows < 0:
+        raise ConfigurationError("n_partition_rows must be >= 0")
+    if door_gap <= 0 or door_gap >= width / 2:
+        raise ConfigurationError("door_gap must be positive and modest")
+    obstacles: List[Obstacle] = []
+    for k in range(n_partition_rows):
+        y = depth * (k + 1) / (n_partition_rows + 1)
+        gap_x = width * (0.25 + 0.5 * (k % 2))  # alternate door sides
+        left_end = max(gap_x - door_gap / 2, 0.1)
+        right_start = min(gap_x + door_gap / 2, width - 0.1)
+        if left_end > 0.2:
+            obstacles.append(wall(0.0, y, left_end, y, "drywall"))
+        if right_start < width - 0.2:
+            obstacles.append(wall(right_start, y, width, y, "drywall"))
+    return Floorplan(f"office_{n_partition_rows}rows", width, depth,
+                     obstacles=obstacles)
+
+
+def apartment_layout(width: float = 10.0, depth: float = 8.0) -> Floorplan:
+    """A two-bedroom apartment: one concrete load wall, two wood doors."""
+    if width < 6.0 or depth < 5.0:
+        raise ConfigurationError("apartment too small for the layout")
+    mid_x = width * 0.55
+    obstacles = [
+        # Load-bearing wall splitting living area from bedrooms, with a
+        # doorway gap in the middle.
+        wall(mid_x, 0.0, mid_x, depth * 0.35, "concrete_wall"),
+        wall(mid_x, depth * 0.55, mid_x, depth, "concrete_wall"),
+        # Interior bedroom divider (wood).
+        wall(mid_x, depth * 0.5, width, depth * 0.5, "wood_door"),
+    ]
+    return Floorplan("apartment", width, depth, obstacles=obstacles)
+
+
+def random_clutter(
+    rng: np.random.Generator,
+    width: float = 10.0,
+    depth: float = 10.0,
+    n_obstacles: int = 4,
+    materials: Optional[List[str]] = None,
+    length_range=(1.0, 3.0),
+) -> Floorplan:
+    """A room with randomly placed straight blockers — sweep fodder."""
+    if n_obstacles < 0:
+        raise ConfigurationError("n_obstacles must be >= 0")
+    materials = materials or ["drywall", "wood_door", "shelf_rack",
+                              "human_body"]
+    obstacles: List[Obstacle] = []
+    for _ in range(n_obstacles):
+        length = float(rng.uniform(*length_range))
+        x = float(rng.uniform(0.5, width - 0.5 - length))
+        y = float(rng.uniform(1.0, depth - 1.0))
+        material = str(rng.choice(materials))
+        if rng.random() < 0.5:
+            obstacles.append(wall(x, y, x + length, y, material))
+        else:
+            y2 = min(y + length, depth - 0.2)
+            if y2 - y > 0.3:
+                obstacles.append(wall(x, y, x, y2, material))
+    return Floorplan("clutter", width, depth, obstacles=obstacles)

@@ -1,0 +1,92 @@
+"""Attenuating obstacles: walls, racks, glass, human bodies.
+
+Each obstacle is a segment with a *blocking coefficient* — the excess path
+loss (dB) it adds when the direct beacon→observer ray crosses it — plus the
+environment class it induces (Sec. 4.1 of the paper distinguishes low
+coefficient blockers, p-LOS, from high-coefficient ones, NLOS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.types import EnvClass, Vec2
+from repro.world.geometry import Segment
+
+__all__ = ["Material", "MATERIALS", "Obstacle"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """Signal-blocking material with its excess attenuation.
+
+    ``attenuation_db`` is the mean insertion loss of one crossing at 2.4 GHz
+    (values in the range reported for indoor propagation surveys);
+    ``attenuation_std_db`` models per-deployment variability; ``env_class``
+    is the propagation class a blocker of this material induces.
+    """
+
+    name: str
+    attenuation_db: float
+    attenuation_std_db: float
+    env_class: str
+
+    def __post_init__(self) -> None:
+        if self.attenuation_db < 0:
+            raise ConfigurationError("attenuation must be non-negative")
+        if self.env_class not in (EnvClass.P_LOS, EnvClass.NLOS):
+            raise ConfigurationError(
+                "a blocking material induces P_LOS or NLOS, got "
+                f"{self.env_class!r}"
+            )
+
+
+#: Catalogue of the blocker types the paper names (Sec. 4.1).
+MATERIALS: Dict[str, Material] = {
+    "glass": Material("glass", 3.0, 1.0, EnvClass.P_LOS),
+    "wood_door": Material("wood_door", 4.0, 1.5, EnvClass.P_LOS),
+    "human_body": Material("human_body", 5.0, 2.0, EnvClass.P_LOS),
+    "drywall": Material("drywall", 6.0, 2.0, EnvClass.P_LOS),
+    "shelf_rack": Material("shelf_rack", 7.0, 2.5, EnvClass.NLOS),
+    "concrete_wall": Material("concrete_wall", 12.0, 3.0, EnvClass.NLOS),
+    "cinder_wall": Material("cinder_wall", 13.0, 3.0, EnvClass.NLOS),
+    "metal_board": Material("metal_board", 16.0, 4.0, EnvClass.NLOS),
+    "server_rack": Material("server_rack", 9.0, 3.0, EnvClass.NLOS),
+}
+
+
+@dataclass
+class Obstacle:
+    """A wall-like blocker placed in the floorplan.
+
+    ``mobile`` marks obstacles that move during a measurement (passers-by in
+    the Fig. 5 experiment); the floorplan can relocate them over time.
+    """
+
+    segment: Segment
+    material: Material
+    name: str = ""
+    mobile: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.material.name
+
+    def blocks(self, a: Vec2, b: Vec2) -> bool:
+        """True if the direct ray a→b crosses this obstacle."""
+        return self.segment.intersects(Segment(a, b))
+
+    def moved_to(self, a: Vec2, b: Vec2) -> "Obstacle":
+        """A copy of this obstacle relocated to the segment a-b."""
+        return replace(self, segment=Segment(a, b))
+
+
+def wall(x1: float, y1: float, x2: float, y2: float, material: str) -> Obstacle:
+    """Convenience constructor: an obstacle from coordinates and material name."""
+    if material not in MATERIALS:
+        raise ConfigurationError(
+            f"unknown material {material!r}; choose from {sorted(MATERIALS)}"
+        )
+    return Obstacle(Segment(Vec2(x1, y1), Vec2(x2, y2)), MATERIALS[material])

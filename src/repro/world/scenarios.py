@@ -1,0 +1,191 @@
+"""The paper's nine experimental environments (Table 1) as presets.
+
+Each scenario packages a floorplan (scale and blockers chosen to match the
+environment's description), a default beacon placement and a default
+observer start for the L-shaped measurement walk. Default beacon–observer
+distances follow the paper's stationary-target experiment (Sec. 7.4.1:
+4.5, 6.4, 6.7, 6.8, 9.1 and 7.9 m for environments #1–#6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.obstacles import Obstacle, wall
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "moving_human_crossing"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation environment with its default measurement geometry."""
+
+    index: int
+    name: str
+    floorplan: Floorplan
+    beacon_position: Vec2
+    observer_start: Vec2
+    observer_heading_rad: float
+    paper_accuracy_m: float  # Table 1 row 5: mean error the paper reports
+    paper_accuracy_ci_m: float
+
+    @property
+    def nominal_distance(self) -> float:
+        return self.beacon_position.distance_to(self.observer_start)
+
+
+def moving_human_crossing(
+    y_path: float, x_range: tuple, period_s: float
+) -> "callable":
+    """Obstacle motion: a person pacing along y = ``y_path``.
+
+    Returns a function suitable for ``Floorplan.obstacle_motion`` that slides
+    a mobile obstacle back and forth across ``x_range`` with the given
+    period — how the Fig. 5 experiment makes "people randomly come in
+    between during the observer's movement".
+    """
+
+    def mover(ob: Obstacle, t: float) -> Obstacle:
+        x0, x1 = x_range
+        phase = (t % period_s) / period_s
+        # Triangle wave: out and back.
+        u = 2.0 * phase if phase < 0.5 else 2.0 * (1.0 - phase)
+        cx = x0 + (x1 - x0) * u
+        half = ob.segment.length / 2.0
+        return ob.moved_to(Vec2(cx - half, y_path), Vec2(cx + half, y_path))
+
+    return mover
+
+
+def _build_scenarios() -> Dict[int, Scenario]:
+    s: Dict[int, Scenario] = {}
+
+    # 1 — Meeting room, 5x5 m, clean LOS. Paper: 0.8 ± 0.2 m.
+    s[1] = Scenario(
+        1, "meeting_room",
+        Floorplan("meeting_room", 5.0, 5.0, obstacles=[]),
+        beacon_position=Vec2(4.3, 3.5),
+        observer_start=Vec2(0.5, 0.8),
+        observer_heading_rad=0.0,
+        paper_accuracy_m=0.8, paper_accuracy_ci_m=0.2,
+    )
+
+    # 2 — Hallway, 8x3 m, LOS with a glass door section. Paper: 1.4 ± 0.3 m.
+    s[2] = Scenario(
+        2, "hallway",
+        Floorplan("hallway", 8.0, 3.0, obstacles=[
+            wall(5.0, 2.45, 5.0, 3.0, "glass"),
+        ]),
+        beacon_position=Vec2(7.2, 1.2),
+        observer_start=Vec2(0.8, 0.6),
+        observer_heading_rad=0.0,
+        paper_accuracy_m=1.4, paper_accuracy_ci_m=0.3,
+    )
+
+    # 3 — Bedroom, 7x7 m, wooden furniture blockers. Paper: 1.4 ± 0.4 m.
+    s[3] = Scenario(
+        3, "bedroom",
+        Floorplan("bedroom", 7.0, 7.0, obstacles=[
+            wall(3.0, 2.0, 4.5, 2.0, "wood_door"),
+            wall(5.5, 4.0, 5.5, 5.5, "drywall"),
+        ]),
+        beacon_position=Vec2(5.5, 5.0),
+        observer_start=Vec2(0.7, 1.0),
+        observer_heading_rad=math.radians(35.0),
+        paper_accuracy_m=1.4, paper_accuracy_ci_m=0.4,
+    )
+
+    # 4 — Living room, 7x7 m, mixed furniture. Paper: 1.6 ± 0.3 m.
+    s[4] = Scenario(
+        4, "living_room",
+        Floorplan("living_room", 7.0, 7.0, obstacles=[
+            wall(2.0, 3.5, 4.0, 3.5, "wood_door"),
+            wall(4.8, 1.0, 4.8, 2.8, "drywall"),
+            wall(1.0, 5.2, 2.5, 5.2, "human_body"),
+        ]),
+        beacon_position=Vec2(6.2, 5.5),
+        observer_start=Vec2(0.8, 0.8),
+        observer_heading_rad=math.radians(30.0),
+        paper_accuracy_m=1.6, paper_accuracy_ci_m=0.3,
+    )
+
+    # 5 — Restaurant, 9x10 m, people and partitions. Paper: 1.6 ± 0.4 m.
+    s[5] = Scenario(
+        5, "restaurant",
+        Floorplan("restaurant", 9.0, 10.0, obstacles=[
+            wall(1.5, 6.0, 6.0, 6.0, "human_body"),
+            wall(1.0, 4.5, 5.5, 4.5, "glass"),
+            wall(7.0, 2.0, 7.0, 5.0, "wood_door"),
+        ]),
+        beacon_position=Vec2(5.5, 8.0),
+        observer_start=Vec2(1.0, 1.5),
+        observer_heading_rad=math.radians(45.0),
+        paper_accuracy_m=1.6, paper_accuracy_ci_m=0.4,
+    )
+
+    # 6 — Store, 9x10 m, tall market racks. Paper: 1.8 ± 0.6 m.
+    s[6] = Scenario(
+        6, "store",
+        Floorplan("store", 9.0, 10.0, obstacles=[
+            wall(2.0, 3.0, 6.0, 3.0, "shelf_rack"),
+            wall(2.0, 6.0, 6.0, 6.0, "shelf_rack"),
+            wall(7.5, 2.0, 7.5, 7.0, "shelf_rack"),
+        ]),
+        beacon_position=Vec2(5.5, 6.5),
+        observer_start=Vec2(1.0, 1.0),
+        observer_heading_rad=math.radians(40.0),
+        paper_accuracy_m=1.8, paper_accuracy_ci_m=0.6,
+    )
+
+    # 7 — Labs, 8x10 m, server racks + concrete. Paper: 2.3 ± 0.5 m.
+    s[7] = Scenario(
+        7, "labs",
+        Floorplan("labs", 8.0, 10.0, obstacles=[
+            wall(0.0, 5.0, 5.0, 5.0, "concrete_wall"),
+            wall(6.0, 2.0, 6.0, 6.0, "server_rack"),
+            wall(2.0, 7.0, 4.0, 7.0, "server_rack"),
+        ]),
+        beacon_position=Vec2(5.5, 7.5),
+        observer_start=Vec2(1.0, 1.0),
+        observer_heading_rad=math.radians(40.0),
+        paper_accuracy_m=2.3, paper_accuracy_ci_m=0.5,
+    )
+
+    # 8 — Hall, 9x11 m, construction blockage. Paper: 2.1 ± 0.5 m.
+    s[8] = Scenario(
+        8, "hall",
+        Floorplan("hall", 9.0, 11.0, obstacles=[
+            wall(1.0, 5.0, 7.0, 5.0, "cinder_wall"),
+            wall(7.0, 5.0, 7.0, 7.0, "metal_board"),
+        ]),
+        beacon_position=Vec2(4.5, 7.5),
+        observer_start=Vec2(1.2, 1.2),
+        observer_heading_rad=math.radians(50.0),
+        paper_accuracy_m=2.1, paper_accuracy_ci_m=0.5,
+    )
+
+    # 9 — Parking lot, 16x15 m, outdoor open space. Paper: 1.2 ± 0.5 m.
+    s[9] = Scenario(
+        9, "parking_lot",
+        Floorplan("parking_lot", 16.0, 15.0, obstacles=[], outdoor=True),
+        beacon_position=Vec2(7.2, 5.0),
+        observer_start=Vec2(2.0, 2.0),
+        observer_heading_rad=math.radians(30.0),
+        paper_accuracy_m=1.2, paper_accuracy_ci_m=0.5,
+    )
+    return s
+
+
+SCENARIOS: Dict[int, Scenario] = _build_scenarios()
+
+
+def scenario(index: int) -> Scenario:
+    """The Table-1 environment with the given index (1–9)."""
+    if index not in SCENARIOS:
+        raise ConfigurationError(f"scenario index must be 1–9, got {index}")
+    return SCENARIOS[index]

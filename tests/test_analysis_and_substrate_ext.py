@@ -1,0 +1,215 @@
+"""Tests for the analysis tools, ray-traced multipath and activity detection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import CoverageMap
+from repro.analysis.linkbudget import LinkBudget
+from repro.ble.devices import BEACONS
+from repro.channel.multipath import RayTracedMultipath, reflect_point
+from repro.errors import ConfigurationError
+from repro.imu.sensors import ImuSynthesizer
+from repro.motion.activity import Activity, ActivityDetector
+from repro.types import EnvClass, ImuSample, ImuTrace, Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.geometry import Segment
+from repro.world.obstacles import wall
+from repro.world.scenarios import scenario
+from repro.world.trajectory import straight_walk
+
+
+class TestLinkBudget:
+    def test_range_shrinks_with_blockage(self):
+        clear = LinkBudget(BEACONS["estimote"], env_class=EnvClass.LOS)
+        blocked = LinkBudget(BEACONS["estimote"], env_class=EnvClass.NLOS,
+                             excess_loss_db=12.0)
+        assert blocked.max_range_m() < clear.max_range_m()
+
+    def test_ble5_outranges_legacy(self):
+        legacy = LinkBudget(BEACONS["estimote"])
+        ble5 = LinkBudget(BEACONS["ble5_longrange"])
+        assert ble5.max_range_m() > 1.5 * legacy.max_range_m()
+        assert ble5.sensitivity_dbm < legacy.sensitivity_dbm
+
+    def test_usable_at_consistent_with_range(self):
+        lb = LinkBudget(BEACONS["estimote"], env_class=EnvClass.LOS)
+        r = lb.max_range_m()
+        assert lb.usable_at(r * 0.9)
+        assert not lb.usable_at(r * 1.1)
+
+    def test_margin_monotone(self):
+        lb = LinkBudget(BEACONS["estimote"])
+        assert lb.margin_db(2.0) > lb.margin_db(8.0)
+
+    def test_report_mentions_key_facts(self):
+        text = LinkBudget(BEACONS["ble5_longrange"]).report()
+        assert "coded PHY" in text and "max range" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget(BEACONS["estimote"], env_class="SPACE")
+        with pytest.raises(ConfigurationError):
+            LinkBudget(BEACONS["estimote"], fade_margin_db=-1.0)
+
+    def test_budget_agrees_with_simulator(self):
+        """The analytical budget must predict simulated packet survival:
+        inside the (fade-margined) usable range packets decode richly; well
+        beyond the zero-margin decode cliff they are mostly lost."""
+        from repro.channel.pathloss import distance_for_rss
+        from repro.sim.simulator import BeaconSpec, Simulator
+        from repro.world.trajectory import l_shape
+
+        lb = LinkBudget(BEACONS["estimote"], env_class=EnvClass.LOS)
+        usable = lb.max_range_m()
+        cliff = distance_for_rss(lb.sensitivity_dbm,
+                                 lb.profile.gamma_dbm, lb.exponent)
+        assert cliff > usable  # margin pulls the usable range inside
+        plan = Floorplan("open", 2.0 * cliff, 10.0, outdoor=True)
+        for d, expect_rich in ((0.5 * usable, True), (1.4 * cliff, False)):
+            rng = np.random.default_rng(1)
+            sim = Simulator(plan, rng)
+            d = min(d, 2.0 * cliff - 2.0)
+            walk = l_shape(Vec2(1.0, 5.0), 0.0, leg1=2.0, leg2=1.5)
+            rec = sim.simulate(walk, [
+                BeaconSpec("b", position=Vec2(1.0 + d, 5.0))])
+            rich = len(rec.rssi_traces["b"]) > 20
+            assert rich == expect_rich, f"distance {d}"
+
+
+class TestCoverageMap:
+    def _map(self, idx=7):
+        sc = scenario(idx)
+        return CoverageMap(sc.floorplan, sc.beacon_position), sc
+
+    def test_rss_decays_from_beacon(self):
+        cm, sc = self._map(1)
+        rss = cm.mean_rss_map()
+        xs, ys = cm.grid()
+        bi = int(np.argmin(np.abs(xs - sc.beacon_position.x)))
+        bj = int(np.argmin(np.abs(ys - sc.beacon_position.y)))
+        assert rss[bj, bi] == rss.max()
+
+    def test_walls_shadow_the_map(self):
+        cm, sc = self._map(7)
+        rss = cm.mean_rss_map()
+        xs, ys = cm.grid()
+        # A cell behind the concrete wall is weaker than a same-distance
+        # cell on the beacon's side.
+        d = 3.0
+        behind = rss[int(np.argmin(np.abs(ys - (sc.beacon_position.y - d)))),
+                     int(np.argmin(np.abs(xs - 1.0)))]
+        open_side = rss[int(np.argmin(np.abs(ys - sc.beacon_position.y))),
+                        int(np.argmin(np.abs(xs - (sc.beacon_position.x - d))))]
+        assert open_side > behind
+
+    def test_coverage_fraction_bounds(self):
+        cm, _ = self._map(1)
+        assert 0.0 < cm.coverage_fraction() <= 1.0
+
+    def test_ascii_map_renders(self):
+        cm, _ = self._map(1)
+        art = cm.ascii_map()
+        assert "B" in art
+        assert set(art) <= set("B#.\n")
+
+    def test_validation(self):
+        sc = scenario(1)
+        with pytest.raises(ConfigurationError):
+            CoverageMap(sc.floorplan, Vec2(99.0, 99.0))
+        with pytest.raises(ConfigurationError):
+            CoverageMap(sc.floorplan, sc.beacon_position, cell_m=0.0)
+
+
+class TestRayTracedMultipath:
+    def _setup(self):
+        plan = Floorplan("r", 10, 10,
+                         obstacles=[wall(0, 8, 10, 8, "concrete_wall")])
+        return RayTracedMultipath(plan)
+
+    def test_reflect_point_geometry(self):
+        seg = Segment(Vec2(0, 8), Vec2(10, 8))
+        mirrored = reflect_point(Vec2(3, 2), seg)
+        assert mirrored.x == pytest.approx(3.0)
+        assert mirrored.y == pytest.approx(14.0)
+
+    def test_no_walls_means_unity_gain(self):
+        mp = RayTracedMultipath(Floorplan("empty", 10, 10))
+        assert mp.gain_db(Vec2(1, 1), Vec2(7, 3), 37) == pytest.approx(0.0)
+
+    def test_fringes_appear_near_a_wall(self):
+        mp = self._setup()
+        gains = [mp.gain_db(Vec2(2, 2), Vec2(6 + 0.01 * i, 2.0), 37)
+                 for i in range(120)]
+        assert max(gains) - min(gains) > 1.0  # constructive/destructive
+
+    def test_channels_see_different_patterns(self):
+        mp = self._setup()
+        rx = Vec2(6.37, 2.0)
+        g = {ch: mp.gain_db(Vec2(2, 2), rx, ch) for ch in (37, 38, 39)}
+        assert len({round(v, 3) for v in g.values()}) >= 2
+
+    def test_opposite_side_pair_has_no_reflection(self):
+        mp = self._setup()
+        # tx above the wall, rx below: the mirror path never lands on it.
+        assert mp.gain_db(Vec2(5, 9.5), Vec2(5, 2.0), 37) == pytest.approx(0.0)
+
+    def test_fringe_spacing_half_wavelength(self):
+        mp = self._setup()
+        lam = 299792458.0 / 2402e6
+        assert mp.fringe_spacing_m(37) == pytest.approx(lam / 2.0)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._setup().gain_db(Vec2(1, 1), Vec2(2, 2), 40)
+
+
+class TestActivityDetector:
+    def test_walking_trace_detected(self, rng):
+        out = ImuSynthesizer(rng).synthesize(
+            straight_walk(Vec2(0, 0), 0.0, 5.0), t_pad_s=0.2)
+        assert ActivityDetector().is_moving(out.trace)
+
+    def test_stationary_trace_detected(self, rng):
+        ts = np.arange(300) / 50.0
+        trace = ImuTrace([
+            ImuSample(t, float(rng.normal(0, 0.02)), 0.0, 0.0) for t in ts
+        ])
+        det = ActivityDetector()
+        assert not det.is_moving(trace)
+        assert all(lab == Activity.STATIONARY
+                   for _, _, lab in det.segments(trace))
+
+    def test_segments_cover_pause(self, rng):
+        """Walk, then stand still: the pause must appear as stationary."""
+        out = ImuSynthesizer(rng).synthesize(
+            straight_walk(Vec2(0, 0), 0.0, 4.0), t_pad_s=3.0)
+        segs = ActivityDetector().segments(out.trace)
+        labels = {lab for _, _, lab in segs}
+        assert Activity.WALKING in labels
+        assert Activity.STATIONARY in labels
+        # Time-ordered, non-overlapping runs.
+        for (a0, a1, _), (b0, b1, _) in zip(segs, segs[1:]):
+            assert a1 <= b0 + 1e-9
+
+    def test_aperiodic_shaking_not_walking(self, rng):
+        # Strong but aperiodic noise: fails the gait-band test.
+        ts = np.arange(400) / 50.0
+        accel = rng.normal(0, 0.3, len(ts))
+        trace = ImuTrace([ImuSample(t, float(a), 0.0, 0.0)
+                          for t, a in zip(ts, accel)])
+        det = ActivityDetector(periodicity_ratio=0.35)
+        walking_time = sum(
+            t1 - t0 for t0, t1, lab in det.segments(trace)
+            if lab == Activity.WALKING)
+        total = ts[-1] - ts[0]
+        assert walking_time < 0.5 * total
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ActivityDetector(window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ActivityDetector(periodicity_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            ActivityDetector(gait_band_hz=(3.0, 1.0))

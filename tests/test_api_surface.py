@@ -1,0 +1,109 @@
+"""Public-API surface and small remaining units: errors, postures, exports."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    EstimationError,
+    GeometryError,
+    InsufficientDataError,
+    NotFittedError,
+    PacketError,
+    ReproError,
+)
+from repro.imu.alignment import Posture
+from repro.types import MotionSegment, Vec2
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, EstimationError, GeometryError,
+        InsufficientDataError, NotFittedError, PacketError,
+    ])
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catching_base_at_api_boundary(self):
+        from repro.core.estimator import EllipticalEstimator
+
+        try:
+            EllipticalEstimator().fit([0.0] * 3, [0.0] * 3, [0.0] * 3)
+        except ReproError as exc:
+            assert isinstance(exc, InsufficientDataError)
+        else:  # pragma: no cover - defensive
+            pytest.fail("expected a ReproError")
+
+
+class TestPosture:
+    def test_round_trip_rotation(self):
+        posture = Posture(roll=0.3, pitch=-0.4, yaw=1.0)
+        v = np.array([1.0, 2.0, 3.0])
+        back = posture.phone_to_earth() @ (posture.earth_to_phone() @ v)
+        assert np.allclose(back, v)
+
+    def test_identity_posture(self):
+        assert np.allclose(Posture().phone_to_earth(), np.eye(3))
+
+
+class TestMotionSegment:
+    def test_duration(self):
+        seg = MotionSegment(1.0, 3.5, Vec2(1.0, 0.0))
+        assert seg.duration == pytest.approx(2.5)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.ble
+        import repro.channel
+        import repro.core
+        import repro.dtw
+        import repro.filters
+        import repro.imu
+        import repro.ml
+        import repro.motion
+        import repro.sim
+        import repro.world
+
+        for module in (repro.analysis, repro.baselines, repro.ble,
+                       repro.channel, repro.core, repro.dtw, repro.filters,
+                       repro.imu, repro.ml, repro.motion, repro.sim,
+                       repro.world):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    f"{module.__name__}.{name}")
+
+    def test_docstrings_on_public_classes(self):
+        """Every re-exported public object documents itself."""
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart must stay runnable."""
+        rng = np.random.default_rng(1)
+        sc = repro.scenario(1)
+        sim = repro.Simulator(sc.floorplan, rng)
+        walk = repro.l_shape(sc.observer_start, sc.observer_heading_rad)
+        rec = sim.simulate(
+            walk, [repro.BeaconSpec("b", position=sc.beacon_position)])
+        est = repro.LocBLE().estimate(rec.rssi_traces["b"],
+                                      rec.observer_imu.trace)
+        assert est.error_to(rec.true_position_in_frame("b")) < 5.0

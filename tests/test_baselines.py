@@ -1,0 +1,103 @@
+"""Tests for the Dartle, proximity and trilateration baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dartle import DartleRanger
+from repro.baselines.proximity import ProximityEstimator, ProximityZone
+from repro.baselines.trilateration import WalkTrilaterator, trilaterate
+from repro.channel.pathloss import rss_at
+from repro.errors import EstimationError, InsufficientDataError
+from repro.types import RssiTrace, Vec2
+
+
+def _trace_at(distance, gamma=-59.0, n=2.0, noise=0.0, rng=None, m=20):
+    rss = np.full(m, rss_at(distance, gamma, n))
+    if noise > 0:
+        rss = rss + rng.normal(0, noise, m)
+    return RssiTrace.from_arrays(np.arange(m) / 9.0, rss)
+
+
+class TestDartleRanger:
+    def test_exact_when_parameters_match(self):
+        r = DartleRanger()
+        assert r.range_estimate(_trace_at(4.0)) == pytest.approx(4.0, rel=0.01)
+
+    def test_biased_when_exponent_differs(self):
+        """Dartle's core weakness (the LocBLE comparison's point): a fixed
+        n = 2 underestimates distance in an n = 3 environment."""
+        r = DartleRanger()
+        trace = _trace_at(6.0, n=3.0)
+        assert r.range_estimate(trace) > 6.0 * 1.5
+
+    def test_range_series_length(self, rng):
+        trace = _trace_at(4.0, noise=2.0, rng=rng)
+        assert len(DartleRanger().range_series(trace)) == len(trace)
+
+    def test_range_error_metric(self):
+        r = DartleRanger()
+        assert r.range_error(_trace_at(4.0), 4.0) < 0.1
+
+    def test_empty_trace(self):
+        with pytest.raises(InsufficientDataError):
+            DartleRanger().range_estimate(RssiTrace())
+
+
+class TestProximity:
+    def test_zone_boundaries(self):
+        p = ProximityEstimator()
+        assert p.zone(_trace_at(0.2)) == ProximityZone.IMMEDIATE
+        assert p.zone(_trace_at(1.5)) == ProximityZone.NEAR
+        assert p.zone(_trace_at(8.0)) == ProximityZone.FAR
+
+    def test_unknown_when_too_weak(self):
+        trace = RssiTrace.from_arrays([0.0, 0.1, 0.2], [-98.0, -99.0, -97.0])
+        assert ProximityEstimator().zone(trace) == ProximityZone.UNKNOWN
+
+    def test_unknown_when_empty(self):
+        assert ProximityEstimator().zone(RssiTrace()) == ProximityZone.UNKNOWN
+
+    def test_short_range_accuracy(self, rng):
+        """Sec. 9.2: proximity is decent inside 2 m even with noise."""
+        p = ProximityEstimator()
+        errs = [
+            abs(p.short_range_distance(
+                _trace_at(d, noise=2.0, rng=rng)) - d)
+            for d in (0.5, 1.0, 1.5, 2.0)
+        ]
+        assert np.mean(errs) < 0.5
+
+    def test_short_range_empty(self):
+        with pytest.raises(InsufficientDataError):
+            ProximityEstimator().short_range_distance(RssiTrace())
+
+
+class TestTrilateration:
+    def test_exact_geometry(self):
+        anchors = [Vec2(0, 0), Vec2(4, 0), Vec2(0, 4)]
+        truth = Vec2(1.0, 2.0)
+        ranges = [a.distance_to(truth) for a in anchors]
+        assert trilaterate(anchors, ranges).distance_to(truth) < 1e-9
+
+    def test_collinear_rejected(self):
+        anchors = [Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)]
+        with pytest.raises(EstimationError):
+            trilaterate(anchors, [1.0, 1.0, 1.0])
+
+    def test_needs_three(self):
+        with pytest.raises(InsufficientDataError):
+            trilaterate([Vec2(0, 0), Vec2(1, 0)], [1.0, 1.0])
+
+    def test_walk_trilaterator(self):
+        truth = Vec2(4.0, 3.0)
+        positions = [Vec2(x, 0.0) for x in np.linspace(0, 2.5, 10)]
+        positions += [Vec2(2.5, y) for y in np.linspace(0.2, 2.0, 10)]
+        rss = [rss_at(p.distance_to(truth), -59.0, 2.0) for p in positions]
+        est = WalkTrilaterator().estimate(positions, rss)
+        assert est.distance_to(truth) < 0.3
+
+    def test_walk_trilaterator_validation(self):
+        with pytest.raises(EstimationError):
+            WalkTrilaterator().estimate([Vec2(0, 0)], [1.0, 2.0])
+        with pytest.raises(InsufficientDataError):
+            WalkTrilaterator().estimate([Vec2(0, 0)] * 3, [-70.0] * 3)

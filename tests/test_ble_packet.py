@@ -1,0 +1,133 @@
+"""Tests for BLE advertising PDU encoding/decoding."""
+
+import uuid
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ble.packet import (
+    AdvertisingPdu,
+    AltBeaconPayload,
+    EddystoneUidPayload,
+    IBeaconPayload,
+    PduType,
+    decode_beacon_payload,
+)
+from repro.errors import PacketError
+
+_UUID = uuid.UUID("f7826da6-4fa2-4e98-8024-bc5b71e0893e")
+_ADDR = bytes.fromhex("c0ffee123456")
+
+
+class TestAdvertisingPdu:
+    def test_roundtrip(self):
+        pdu = AdvertisingPdu(PduType.ADV_NONCONN_IND, _ADDR, b"\x01\x02\x03")
+        decoded = AdvertisingPdu.decode(pdu.encode())
+        assert decoded == pdu
+
+    def test_connectivity_bits(self):
+        # Sec. 2.2: the first 4 header bits distinguish connectable from
+        # non-connectable beacons.
+        nonconn = AdvertisingPdu(PduType.ADV_NONCONN_IND, _ADDR, b"")
+        conn = AdvertisingPdu(PduType.ADV_IND, _ADDR, b"")
+        assert not nonconn.connectable
+        assert conn.connectable
+        assert nonconn.encode()[0] & 0x0F == 0x2
+        assert conn.encode()[0] & 0x0F == 0x0
+
+    def test_length_field_matches_payload(self):
+        pdu = AdvertisingPdu(PduType.ADV_NONCONN_IND, _ADDR, b"\xaa" * 10)
+        raw = pdu.encode()
+        assert raw[1] == 6 + 10
+
+    def test_tx_add_bit(self):
+        pdu = AdvertisingPdu(PduType.ADV_NONCONN_IND, _ADDR, b"",
+                             tx_add_random=False)
+        assert not (pdu.encode()[0] & 0x40)
+
+    def test_validation(self):
+        with pytest.raises(PacketError):
+            AdvertisingPdu(PduType.ADV_IND, b"\x00" * 5, b"")
+        with pytest.raises(PacketError):
+            AdvertisingPdu(PduType.ADV_IND, _ADDR, b"\x00" * 32)
+        with pytest.raises(PacketError):
+            AdvertisingPdu.decode(b"\x00\x02\x01")
+        bad_len = bytes([0x02, 99]) + _ADDR + b"\x01"
+        with pytest.raises(PacketError):
+            AdvertisingPdu.decode(bad_len)
+
+
+class TestIBeacon:
+    def test_roundtrip(self):
+        p = IBeaconPayload(_UUID, major=7, minor=1234, measured_power=-59)
+        assert IBeaconPayload.decode(p.encode()) == p
+
+    def test_fits_in_31_bytes(self):
+        p = IBeaconPayload(_UUID, 1, 2, -59)
+        assert len(p.encode()) <= 31
+
+    def test_usable_in_pdu(self):
+        p = IBeaconPayload(_UUID, 1, 2, -59)
+        pdu = AdvertisingPdu(PduType.ADV_NONCONN_IND, _ADDR, p.encode())
+        again = IBeaconPayload.decode(AdvertisingPdu.decode(pdu.encode()).adv_data)
+        assert again == p
+
+    def test_major_minor_range(self):
+        with pytest.raises(PacketError):
+            IBeaconPayload(_UUID, 70000, 0, -59).encode()
+
+    def test_beacon_id_format(self):
+        p = IBeaconPayload(_UUID, 7, 9, -59)
+        assert p.beacon_id() == f"ibeacon:{_UUID}:7:9"
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=-100, max_value=0))
+    def test_roundtrip_property(self, major, minor, power):
+        p = IBeaconPayload(_UUID, major, minor, power)
+        assert IBeaconPayload.decode(p.encode()) == p
+
+
+class TestEddystone:
+    def _payload(self):
+        return EddystoneUidPayload(bytes(range(10)), bytes(range(6)), -20)
+
+    def test_roundtrip(self):
+        p = self._payload()
+        assert EddystoneUidPayload.decode(p.encode()) == p
+
+    def test_size_validation(self):
+        with pytest.raises(PacketError):
+            EddystoneUidPayload(b"\x00" * 9, b"\x00" * 6, -20).encode()
+
+    def test_fits_in_31_bytes(self):
+        assert len(self._payload().encode()) <= 31
+
+    def test_not_confused_with_ibeacon(self):
+        with pytest.raises(PacketError):
+            IBeaconPayload.decode(self._payload().encode())
+
+
+class TestAltBeacon:
+    def test_roundtrip(self):
+        p = AltBeaconPayload(bytes(range(20)), -60, mfg_reserved=3)
+        assert AltBeaconPayload.decode(p.encode()) == p
+
+    def test_id_length_validated(self):
+        with pytest.raises(PacketError):
+            AltBeaconPayload(b"\x00" * 19, -60).encode()
+
+
+class TestAutoDecode:
+    def test_detects_each_format(self):
+        ib = IBeaconPayload(_UUID, 1, 2, -59)
+        ed = EddystoneUidPayload(bytes(10), bytes(6), -20)
+        al = AltBeaconPayload(bytes(20), -60)
+        assert isinstance(decode_beacon_payload(ib.encode()), IBeaconPayload)
+        assert isinstance(decode_beacon_payload(ed.encode()), EddystoneUidPayload)
+        assert isinstance(decode_beacon_payload(al.encode()), AltBeaconPayload)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PacketError):
+            decode_beacon_payload(b"\x03\xff\x00\x00")

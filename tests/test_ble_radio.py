@@ -1,0 +1,121 @@
+"""Tests for the advertiser schedule, scanner model and device profiles."""
+
+import numpy as np
+import pytest
+
+from repro.ble.advertiser import Advertiser
+from repro.ble.devices import BEACONS, PHONES
+from repro.ble.scanner import Scanner, resample_trace
+from repro.errors import ConfigurationError
+from repro.types import RssiSample, RssiTrace
+
+
+class TestAdvertiser:
+    def test_event_rate_matches_profile(self, rng):
+        adv = Advertiser(BEACONS["estimote"], rng)
+        events = adv.events(0.0, 10.0)
+        # 10 Hz for 10 s: one event per interval (jitter may push the last out)
+        assert 95 <= len(events) <= 100
+
+    def test_hop_sequence_rotates(self, rng):
+        adv = Advertiser(BEACONS["estimote"], rng)
+        events = adv.events(0.0, 1.0)
+        channels = [e.channel for e in events[:6]]
+        assert channels == [37, 38, 39, 37, 38, 39]
+
+    def test_jitter_within_spec(self, rng):
+        adv = Advertiser(BEACONS["estimote"], rng)
+        events = adv.events(0.0, 5.0)
+        for e in events:
+            nominal = e.event_index * adv.interval_s
+            assert 0.0 <= e.timestamp - nominal <= 0.010 + 1e-9
+
+    def test_time_order(self, rng):
+        events = Advertiser(BEACONS["radbeacon_usb"], rng).events(0.0, 5.0)
+        ts = [e.timestamp for e in events]
+        assert ts == sorted(ts)
+
+    def test_invalid_span(self, rng):
+        with pytest.raises(ConfigurationError):
+            Advertiser(BEACONS["estimote"], rng).events(1.0, 1.0)
+
+
+def _samples(n=100, dt=0.1, rssi=-70.0):
+    return [RssiSample(i * dt, rssi, "b", 37) for i in range(n)]
+
+
+class TestScanner:
+    def test_sensitivity_floor(self, rng):
+        s = Scanner(PHONES["iphone_6s"], rng, base_loss_prob=0.0)
+        weak = [RssiSample(i * 0.1, -120.0, "b") for i in range(10)]
+        assert len(s.receive(weak)) == 0
+
+    def test_lossless_rate_cap(self):
+        rng = np.random.default_rng(0)
+        s = Scanner(PHONES["iphone_6s"], rng, base_loss_prob=0.0)
+        # 20 Hz input capped near the phone's 9 Hz.
+        trace = s.receive(_samples(n=200, dt=0.05))
+        assert trace.mean_rate_hz() <= PHONES["iphone_6s"].sampling_hz + 0.5
+        assert trace.mean_rate_hz() > 6.0
+
+    def test_loss_reduces_sample_count(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        clean = Scanner(PHONES["iphone_6s"], rng1, base_loss_prob=0.0)
+        lossy = Scanner(PHONES["iphone_6s"], rng2, base_loss_prob=0.0,
+                        interference_loss_prob=0.6)
+        assert len(lossy.receive(_samples())) < len(clean.receive(_samples()))
+
+    def test_filter_indices_align_with_receive(self):
+        samples = _samples()
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        s1 = Scanner(PHONES["nexus_6p"], rng1)
+        s2 = Scanner(PHONES["nexus_6p"], rng2)
+        idx = s1.filter_indices(samples)
+        trace = s2.receive(samples)
+        assert [samples[i] for i in idx] == trace.samples
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            Scanner(PHONES["iphone_6s"], rng, base_loss_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            Scanner(PHONES["iphone_6s"], rng, interference_loss_prob=-0.1)
+
+
+class TestResample:
+    def test_downsample_rate(self):
+        trace = RssiTrace(_samples(n=90, dt=1 / 9.0))
+        low = resample_trace(trace, 5.5)
+        assert low.mean_rate_hz() <= 5.6
+        assert len(low) < len(trace)
+
+    def test_upsample_is_identity(self):
+        trace = RssiTrace(_samples(n=45, dt=1 / 9.0))
+        assert len(resample_trace(trace, 100.0)) == len(trace)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            resample_trace(RssiTrace(_samples(5)), 0.0)
+
+
+class TestDeviceProfiles:
+    def test_paper_sampling_rates(self):
+        # Sec. 7.6.1: "the sampling rate is 9 Hz for iPhone 6s and 8 Hz for
+        # Nexus 6P".
+        assert PHONES["iphone_6s"].sampling_hz == 9.0
+        assert PHONES["nexus_6p"].sampling_hz == 8.0
+
+    def test_beacons_advertise_at_10hz(self):
+        # Sec. 7.2: beacons configured to broadcast at 10 Hz.
+        for b in BEACONS.values():
+            assert b.advertising_hz == 10.0
+
+    def test_dedicated_beacons_emit_more_stably(self):
+        # Fig. 14's explanation: phone-integrated beacon radios are noisier.
+        assert BEACONS["ios_device"].tx_jitter_std_db > max(
+            BEACONS["estimote"].tx_jitter_std_db,
+            BEACONS["radbeacon_usb"].tx_jitter_std_db,
+        )
+
+    def test_phone_offsets_span_fig2(self):
+        offsets = [p.rx_offset_db for p in PHONES.values()]
+        assert max(offsets) - min(offsets) >= 5.0

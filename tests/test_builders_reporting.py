@@ -1,0 +1,152 @@
+"""Tests for the floorplan builders and session reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import SessionReport, session_report
+from repro.errors import ConfigurationError
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.types import EnvClass, ImuTrace, RssiTrace, Vec2
+from repro.world.builder import (
+    apartment_layout,
+    office_layout,
+    random_clutter,
+    store_layout,
+)
+from repro.world.scenarios import scenario
+from repro.world.trajectory import l_shape, straight_walk
+
+
+class TestStoreLayout:
+    def test_aisle_count(self):
+        plan = store_layout(n_aisles=4)
+        assert len(plan.obstacles) == 4
+        assert all(ob.material.env_class == EnvClass.NLOS
+                   for ob in plan.obstacles)
+
+    def test_racks_inside_floorplan(self):
+        plan = store_layout(width=9.0, depth=8.0, n_aisles=3)
+        for ob in plan.obstacles:
+            assert plan.contains(ob.segment.a) and plan.contains(ob.segment.b)
+
+    def test_more_aisles_more_blockage(self):
+        start, beacon = Vec2(6.0, 0.5), Vec2(6.0, 9.5)
+        few = store_layout(n_aisles=1).classify_link(beacon, start)
+        many = store_layout(n_aisles=4).classify_link(beacon, start)
+        assert many.excess_loss_db > few.excess_loss_db
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            store_layout(n_aisles=0)
+        with pytest.raises(ConfigurationError):
+            store_layout(depth=2.0, aisle_margin=1.2)
+
+
+class TestOfficeLayout:
+    def test_partitions_have_door_gaps(self):
+        plan = office_layout(n_partition_rows=2)
+        # Each row contributes two wall pieces (left and right of the door).
+        assert len(plan.obstacles) == 4
+
+    def test_zero_rows_open_plan(self):
+        assert office_layout(n_partition_rows=0).obstacles == []
+
+    def test_door_gap_is_passable(self):
+        plan = office_layout(width=14.0, depth=10.0, n_partition_rows=1,
+                             door_gap=1.4)
+        y = 10.0 / 2.0
+        gap_x = 14.0 * 0.25
+        state = plan.classify_link(Vec2(gap_x, y - 1.0), Vec2(gap_x, y + 1.0))
+        assert state.env_class == EnvClass.LOS
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            office_layout(n_partition_rows=-1)
+        with pytest.raises(ConfigurationError):
+            office_layout(door_gap=0.0)
+
+
+class TestApartmentLayout:
+    def test_load_wall_blocks_but_door_passes(self):
+        plan = apartment_layout()
+        mid_x = 10.0 * 0.55
+        blocked = plan.classify_link(Vec2(mid_x - 2, 1.0),
+                                     Vec2(mid_x + 2, 1.0))
+        through_door = plan.classify_link(Vec2(mid_x - 2, 8.0 * 0.45),
+                                          Vec2(mid_x + 2, 8.0 * 0.45))
+        assert blocked.env_class == EnvClass.NLOS
+        assert through_door.env_class == EnvClass.LOS
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apartment_layout(width=4.0)
+
+
+class TestRandomClutter:
+    def test_count_and_bounds(self, rng):
+        plan = random_clutter(rng, n_obstacles=6)
+        assert len(plan.obstacles) <= 6
+        for ob in plan.obstacles:
+            assert plan.contains(ob.segment.a) and plan.contains(ob.segment.b)
+
+    def test_deterministic_given_seed(self):
+        a = random_clutter(np.random.default_rng(5), n_obstacles=5)
+        b = random_clutter(np.random.default_rng(5), n_obstacles=5)
+        assert [(o.segment.a, o.segment.b) for o in a.obstacles] == \
+               [(o.segment.a, o.segment.b) for o in b.obstacles]
+
+    def test_usable_in_simulation(self, rng):
+        plan = random_clutter(rng, n_obstacles=3)
+        sim = Simulator(plan, rng)
+        walk = straight_walk(Vec2(1.0, 1.0), 0.5, 3.0)
+        rec = sim.simulate(walk, [BeaconSpec("b", position=Vec2(8.0, 8.0))])
+        assert len(rec.rssi_traces["b"]) > 5
+
+
+class TestSessionReport:
+    def _session(self, seed=0, idx=1):
+        sc = scenario(idx)
+        rng = np.random.default_rng(seed)
+        sim = Simulator(sc.floorplan, rng)
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                       leg1=2.8, leg2=2.2)
+        return sim.simulate(walk, [
+            BeaconSpec("b", position=sc.beacon_position)])
+
+    def test_good_session_report(self):
+        rec = self._session()
+        report = session_report(rec.rssi_traces["b"], rec.observer_imu.trace)
+        assert report.estimate is not None
+        assert report.failure is None
+        assert report.n_samples > 25
+        assert report.n_turns == 1
+        text = str(report)
+        assert "estimate" in text and "confidence" in text
+
+    def test_short_trace_warns_and_fails_gracefully(self):
+        rec = self._session(seed=1)
+        tiny = RssiTrace(rec.rssi_traces["b"].samples[:6])
+        report = session_report(tiny, rec.observer_imu.trace)
+        assert report.estimate is None
+        assert report.failure is not None
+        assert any("samples" in w for w in report.warnings)
+        assert "FAILED" in str(report)
+
+    def test_straight_walk_warns_about_symmetry(self):
+        sc = scenario(1)
+        rng = np.random.default_rng(2)
+        sim = Simulator(sc.floorplan, rng)
+        walk = straight_walk(sc.observer_start, 0.0, 4.0)
+        rec = sim.simulate(walk, [
+            BeaconSpec("b", position=sc.beacon_position)])
+        report = session_report(rec.rssi_traces["b"], rec.observer_imu.trace)
+        assert any("symmetry" in w for w in report.warnings)
+        assert report.estimate is not None
+        assert report.estimate.ambiguous
+
+    def test_envaware_timeline(self, trained_envaware):
+        rec = self._session(seed=3, idx=7)
+        report = session_report(rec.rssi_traces["b"], rec.observer_imu.trace,
+                                envaware=trained_envaware)
+        assert len(report.env_timeline) >= 1
+        assert set(report.env_timeline) <= set(EnvClass.ALL)

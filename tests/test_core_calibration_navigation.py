@@ -1,0 +1,149 @@
+"""Tests for clustering calibration (Algorithm 2) and navigation guidance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ClusteringCalibrator
+from repro.core.navigation import Navigator
+from repro.core.pipeline import LocBLE
+from repro.errors import EstimationError
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.types import LocationEstimate, Vec2
+from repro.world.scenarios import scenario
+from repro.world.trajectory import l_shape
+
+
+def _cluster_session(seed=0, idx=7, n_neighbors=3, far_beacon=True):
+    """Target + ``n_neighbors`` co-located beacons (+ optionally one far)."""
+    rng = np.random.default_rng(seed)
+    sc = scenario(idx)
+    sim = Simulator(sc.floorplan, rng)
+    walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                   leg1=2.8, leg2=2.2)
+    target = sc.beacon_position
+    beacons = [BeaconSpec("target", position=target)]
+    for k in range(n_neighbors):
+        angle = 2 * math.pi * k / max(n_neighbors, 1)
+        off = Vec2.from_polar(0.3, angle)  # 0.3 m apart, as in Fig. 9
+        beacons.append(BeaconSpec(f"near{k}", position=target + off))
+    if far_beacon:
+        beacons.append(BeaconSpec(
+            "far", position=Vec2(sc.observer_start.x + 0.8,
+                                 sc.observer_start.y + 0.5)))
+    rec = sim.simulate(walk, beacons)
+    return rec
+
+
+class TestClusteringCalibrator:
+    def test_neighbors_join_cluster_far_does_not(self):
+        rec = _cluster_session(seed=1)
+        cal = ClusteringCalibrator(LocBLE())
+        result = cal.calibrate("target", rec.rssi_traces,
+                               rec.observer_imu.trace)
+        near_ids = {b for b in rec.beacons if b.startswith("near")}
+        joined = set(result.contributors) - {"target"}
+        assert len(joined & near_ids) >= 1
+        assert "far" not in result.contributors
+
+    def test_weights_normalised(self):
+        rec = _cluster_session(seed=2)
+        cal = ClusteringCalibrator(LocBLE())
+        result = cal.calibrate("target", rec.rssi_traces,
+                               rec.observer_imu.trace)
+        assert sum(result.weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in result.weights.values())
+
+    def test_calibration_accuracy_with_cluster(self):
+        """The Fig. 15 mechanism: more co-located beacons should not hurt
+        and on average helps in blocked environments."""
+        errs_single, errs_cluster = [], []
+        for seed in range(4):
+            rec = _cluster_session(seed=seed, idx=7, n_neighbors=4,
+                                   far_beacon=False)
+            truth = rec.true_position_in_frame("target")
+            loc = LocBLE()
+            single = loc.estimate(rec.rssi_traces["target"],
+                                  rec.observer_imu.trace)
+            errs_single.append(single.error_to(truth))
+            cal = ClusteringCalibrator(LocBLE())
+            result = cal.calibrate("target", rec.rssi_traces,
+                                   rec.observer_imu.trace)
+            errs_cluster.append(result.error_to(truth))
+        assert np.mean(errs_cluster) <= np.mean(errs_single) * 1.25
+
+    def test_unknown_target_rejected(self):
+        rec = _cluster_session(seed=3)
+        cal = ClusteringCalibrator(LocBLE())
+        with pytest.raises(EstimationError):
+            cal.calibrate("ghost", rec.rssi_traces, rec.observer_imu.trace)
+
+    def test_single_beacon_degrades_gracefully(self):
+        rec = _cluster_session(seed=4, n_neighbors=0, far_beacon=False)
+        cal = ClusteringCalibrator(LocBLE())
+        result = cal.calibrate("target", rec.rssi_traces,
+                               rec.observer_imu.trace)
+        assert result.contributors == ["target"]
+        assert result.weights["target"] == pytest.approx(1.0)
+
+
+class TestNavigator:
+    def _estimate(self, x, y):
+        return LocationEstimate(position=Vec2(x, y))
+
+    def test_instruction_points_at_target(self):
+        nav = Navigator()
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(0, 3))
+        assert ins.turn_rad == pytest.approx(math.pi / 2)
+        assert not ins.arrived
+
+    def test_leg_capped(self):
+        nav = Navigator(max_leg_m=2.0)
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(10, 0))
+        assert ins.distance_m == 2.0
+
+    def test_arrival(self):
+        nav = Navigator(arrival_radius_m=0.5)
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(0.3, 0.0))
+        assert ins.arrived
+        assert ins.distance_m == 0.0
+
+    def test_waypoint_after_applies_turn(self):
+        nav = Navigator()
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(0, 3))
+        pos, heading = nav.waypoint_after(Vec2(0, 0), 0.0, ins)
+        assert heading == pytest.approx(math.pi / 2)
+        assert pos.distance_to(Vec2(0, 2)) < 1e-9
+
+    def test_waypoint_after_arrival_is_noop(self):
+        nav = Navigator()
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(0.1, 0.0))
+        pos, heading = nav.waypoint_after(Vec2(0, 0), 0.0, ins)
+        assert pos == Vec2(0, 0) and heading == 0.0
+
+    def test_proximity_snap(self):
+        nav = Navigator(use_proximity_snap=True, proximity_snap_range_m=2.0)
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(1.5, 0.0),
+                              proximity_distance_m=1.1)
+        assert ins.proximity_mode
+        assert ins.distance_m == pytest.approx(1.1)
+
+    def test_proximity_snap_off_by_default(self):
+        nav = Navigator()
+        ins = nav.instruction(Vec2(0, 0), 0.0, self._estimate(1.5, 0.0),
+                              proximity_distance_m=1.1)
+        assert not ins.proximity_mode
+
+    def test_navigation_loop_converges(self):
+        """Follow instructions from 10 m out; must arrive within a few legs
+        when the estimate is exact."""
+        nav = Navigator()
+        pos, heading = Vec2(0.0, 0.0), 0.0
+        target = self._estimate(7.0, -6.0)
+        for _ in range(12):
+            ins = nav.instruction(pos, heading, target)
+            if ins.arrived:
+                break
+            pos, heading = nav.waypoint_after(pos, heading, ins)
+        assert pos.distance_to(target.position) <= nav.arrival_radius_m

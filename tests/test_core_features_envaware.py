@@ -1,0 +1,156 @@
+"""Tests for EnvAware feature extraction and classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.envaware import EnvAwareClassifier, EnvironmentMonitor, trace_windows
+from repro.core.features import FEATURE_NAMES, feature_matrix, window_features
+from repro.errors import InsufficientDataError, NotFittedError
+from repro.ml.metrics import accuracy, precision_recall_f1
+from repro.sim.datasets import EnvDatasetBuilder
+from repro.types import EnvClass, RssiTrace
+
+
+class TestWindowFeatures:
+    def test_nine_features(self):
+        v = window_features(np.array([-70.0, -71.0, -69.0, -72.0, -68.0]))
+        assert v.shape == (9,)
+        assert len(FEATURE_NAMES) == 9
+
+    def test_known_values(self):
+        v = window_features(np.array([1.0, 2.0, 3.0, 4.0]))
+        names = dict(zip(FEATURE_NAMES, v))
+        assert names["mean"] == pytest.approx(2.5)
+        assert names["min"] == 1.0
+        assert names["max"] == 4.0
+        assert names["median"] == pytest.approx(2.5)
+        assert names["iqr"] == pytest.approx(names["q3"] - names["q1"])
+
+    def test_constant_window_zero_skew(self):
+        v = window_features(np.full(10, -70.0))
+        names = dict(zip(FEATURE_NAMES, v))
+        assert names["variance"] == 0.0
+        assert names["skewness"] == 0.0
+
+    def test_skewness_sign(self):
+        right_skewed = np.array([0.0] * 9 + [10.0])
+        v = dict(zip(FEATURE_NAMES, window_features(right_skewed)))
+        assert v["skewness"] > 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            window_features([1.0, 2.0])
+
+    def test_feature_matrix_shape(self):
+        m = feature_matrix([np.ones(5), np.ones(6)])
+        assert m.shape == (2, 9)
+        with pytest.raises(InsufficientDataError):
+            feature_matrix([])
+
+
+class TestTraceWindows:
+    def test_windowing(self):
+        ts = np.arange(45) / 9.0  # 5 s at 9 Hz
+        trace = RssiTrace.from_arrays(ts, np.full(45, -70.0))
+        wins = trace_windows(trace, window_s=2.0)
+        # Two full 2 s windows plus the dense 1 s remainder.
+        assert len(wins) == 3
+        assert all(len(w) >= 6 for w in wins)
+
+    def test_empty(self):
+        assert trace_windows(RssiTrace()) == []
+
+
+class TestEnvAwareClassifier:
+    def test_accuracy_on_held_out(self, trained_envaware):
+        """The headline EnvAware number: the paper reports 94.7 % precision /
+        94.5 % recall on real traces. Our synthetic classes overlap more by
+        construction (weak p-LOS blockers genuinely look like LOS), so the
+        unit test guards a >72 % floor; the Sec. 4.1 bench reports the
+        richer-training figures."""
+        builder = EnvDatasetBuilder(np.random.default_rng(4242))
+        windows, labels = builder.build(sessions_per_class=4)
+        pred = trained_envaware.predict(windows)
+        acc = accuracy(np.asarray(labels), pred)
+        metrics = precision_recall_f1(np.asarray(labels), pred)
+        assert acc > 0.72
+        assert metrics["precision"] > 0.7
+        assert metrics["recall"] > 0.7
+
+    def test_predict_one_matches_batch(self, trained_envaware):
+        builder = EnvDatasetBuilder(np.random.default_rng(7))
+        windows, _ = builder.build(sessions_per_class=1)
+        single = trained_envaware.predict_one(windows[0])
+        batch = trained_envaware.predict(windows[:1])[0]
+        assert single == batch
+
+    def test_unfitted_raises(self):
+        clf = EnvAwareClassifier()
+        with pytest.raises(NotFittedError):
+            clf.predict([np.ones(10)])
+        with pytest.raises(NotFittedError):
+            clf.predict_one(np.ones(10))
+
+
+class _StubClassifier:
+    """Deterministic classifier stub for monitor-logic tests."""
+
+    def __init__(self, sequence):
+        self.sequence = list(sequence)
+        self.i = 0
+
+    def fit(self, x, y):
+        return self
+
+    def predict(self, x):
+        out = [self.sequence[min(self.i + k, len(self.sequence) - 1)]
+               for k in range(len(x))]
+        self.i += len(x)
+        return np.array(out)
+
+
+def _stub_envaware(sequence):
+    clf = EnvAwareClassifier(classifier=_StubClassifier(sequence))
+    clf.scaler.fit(np.zeros((2, 9)))
+    clf._fitted = True
+    return clf
+
+
+class TestEnvironmentMonitor:
+    def test_single_disagreeing_window_ignored(self):
+        mon = EnvironmentMonitor(_stub_envaware(
+            ["LOS", "LOS", "NLOS", "LOS", "LOS"]), hysteresis=2)
+        changes = [mon.observe(np.ones(8)) for _ in range(5)]
+        assert changes == [False] * 5
+        assert mon.current == "LOS"
+
+    def test_sustained_change_detected(self):
+        mon = EnvironmentMonitor(_stub_envaware(
+            ["LOS", "LOS", "NLOS", "NLOS", "NLOS"]), hysteresis=2)
+        changes = [mon.observe(np.ones(8)) for _ in range(5)]
+        assert changes == [False, False, False, True, False]
+        assert mon.current == "NLOS"
+
+    def test_reset(self):
+        mon = EnvironmentMonitor(_stub_envaware(["NLOS", "LOS"]))
+        mon.observe(np.ones(8))
+        assert mon.current == "NLOS"
+        mon.reset()
+        assert mon.current == EnvClass.LOS  # default before evidence
+
+    def test_flapping_back_to_current_never_settles(self):
+        mon = EnvironmentMonitor(_stub_envaware(
+            ["LOS", "NLOS", "LOS", "NLOS", "LOS"]), hysteresis=2)
+        changes = [mon.observe(np.ones(8)) for _ in range(5)]
+        assert changes == [False] * 5
+        assert mon.current == "LOS"
+
+    def test_flicker_between_blocked_classes_still_changes(self):
+        # Two consecutive disagreeing windows declare a change even when
+        # they disagree with each other (P_LOS/NLOS flicker on a degrading
+        # link); the latest label wins.
+        mon = EnvironmentMonitor(_stub_envaware(
+            ["LOS", "NLOS", "P_LOS"]), hysteresis=2)
+        changes = [mon.observe(np.ones(8)) for _ in range(3)]
+        assert changes == [False, False, True]
+        assert mon.current == "P_LOS"

@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs in a subprocess (clean interpreter state) with its default seed.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKER = {
+    "quickstart.py": "LocBLE estimate",
+    "find_lost_item.py": "Overall error",
+    "retail_shelf.py": "Calibrated error",
+    "track_moving_friend.py": "Moving-target estimate",
+    "offline_trace_analysis.py": "mean error over",
+    "ar_tagging_3d.py": "3-D estimate",
+    "deployment_planning.py": "Coverage",
+}
+
+
+def test_every_example_has_a_smoke_test():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXPECTED_MARKER), (
+        "examples/ and EXPECTED_MARKER are out of sync")
+
+
+@pytest.mark.parametrize("script,marker", sorted(EXPECTED_MARKER.items()))
+def test_example_runs(script, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-800:]
+    assert marker in result.stdout, (
+        f"{script} output missing {marker!r}:\n{result.stdout[-400:]}")

@@ -1,0 +1,175 @@
+"""Tests for the 3-D localisation extension (Sec. 9.3) and the barometer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import rss_at
+from repro.core.estimator import EllipticalEstimator
+from repro.core.three_d import Estimator3D, Vec3
+from repro.errors import ConfigurationError, EstimationError, InsufficientDataError
+from repro.imu.barometer import (
+    BarometerModel,
+    altitude_from_pressure,
+    pressure_at_altitude,
+)
+from repro.sim.simulator3d import Simulator3D, ramp_profile
+from repro.types import Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.trajectory import l_shape
+
+
+class TestBarometer:
+    def test_pressure_altitude_inverse(self):
+        for alt in (0.0, 1.5, 10.0, -3.0):
+            assert altitude_from_pressure(
+                pressure_at_altitude(alt)) == pytest.approx(alt)
+
+    def test_higher_is_lower_pressure(self):
+        assert pressure_at_altitude(10.0) < pressure_at_altitude(0.0)
+
+    def test_relative_altitude_recovery(self, rng):
+        ts = np.arange(0, 10, 0.04)
+        true_alt = np.where(ts < 4.0, 0.0, np.minimum((ts - 4.0) * 0.5, 1.5))
+        baro = BarometerModel(rng)
+        pressure = baro.synthesize(ts, true_alt)
+        rel = baro.estimate_relative_altitude(pressure)
+        # End-of-trace relative climb recovered within ~0.4 m.
+        assert rel[-1] == pytest.approx(1.5, abs=0.4)
+        assert rel[0] == 0.0
+
+    def test_alignment_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            BarometerModel(rng).synthesize(np.arange(5.0), np.arange(4.0))
+
+
+def _l_walk_3d(n=40, leg1=2.5, leg2=2.0, climb=1.2):
+    d = np.linspace(0.0, leg1 + leg2, n)
+    p = -np.minimum(d, leg1)
+    q = -np.clip(d - leg1, 0.0, leg2)
+    r = -np.minimum(d / leg1, 1.0) * climb  # climbs during leg 1
+    return p, q, r
+
+
+class TestEstimator3D:
+    def _rss(self, true, p, q, r, gamma=-59.0, n=2.0, noise=0.0, rng=None):
+        l = np.sqrt((true[0] + p) ** 2 + (true[1] + q) ** 2
+                    + (true[2] + r) ** 2)
+        rss = np.array([rss_at(d, gamma, n) for d in l])
+        if noise > 0:
+            rss = rss + rng.normal(0, noise, len(rss))
+        return rss
+
+    def test_noiseless_recovery_with_elevation_change(self):
+        p, q, r = _l_walk_3d()
+        true = (4.0, 3.0, 1.8)
+        est = Estimator3D(planar=EllipticalEstimator(gamma_prior=None),
+                          z_prior=None)
+        fit = est.fit(p, q, r, self._rss(true, p, q, r))
+        assert fit.position.distance_to(Vec3(*true)) < 0.3
+        assert fit.mirror_z is None  # z observable: no vertical ambiguity
+
+    def test_flat_walk_reports_z_mirror(self):
+        p, q, r = _l_walk_3d(climb=0.0)
+        true = (4.0, 3.0, 1.5)
+        est = Estimator3D(planar=EllipticalEstimator(gamma_prior=None),
+                          z_prior=None)
+        fit = est.fit(p, q, r, self._rss(true, p, q, r))
+        assert fit.mirror_z is not None
+        assert fit.position.z >= 0.0
+        assert fit.mirror_z.z == pytest.approx(-fit.position.z)
+
+    def test_noisy_accuracy_reasonable(self):
+        errs = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            p, q, r = _l_walk_3d()
+            true = (4.0, 2.5, 1.5)
+            rss = self._rss(true, p, q, r, noise=1.5, rng=rng)
+            fit = Estimator3D().fit(p, q, r, rss)
+            errs.append(fit.position.distance_to(Vec3(*true)))
+        assert np.median(errs) < 2.5
+
+    def test_validation(self):
+        est = Estimator3D()
+        with pytest.raises(InsufficientDataError):
+            est.fit([0.0] * 5, [0.0] * 5, [0.0] * 5, [-70.0] * 5)
+        with pytest.raises(EstimationError):
+            est.fit(np.zeros(12), np.zeros(11), np.zeros(12), np.zeros(12))
+        with pytest.raises(InsufficientDataError):
+            est.fit(np.zeros(12), np.zeros(12), np.linspace(0, 1, 12),
+                    np.full(12, -70.0))
+
+
+class TestVec3:
+    def test_arithmetic_and_norm(self):
+        a, b = Vec3(1, 2, 2), Vec3(0, 0, 0)
+        assert a.norm() == 3.0
+        assert (a - b).distance_to(Vec3(0, 0, 0)) == 3.0
+        assert (a + a).norm() == 6.0
+        assert a.horizontal == (1, 2)
+
+
+class TestSimulator3D:
+    def _measure(self, seed=0, beacon=Vec3(7.5, 6.0, 2.8)):
+        rng = np.random.default_rng(seed)
+        plan = Floorplan("atrium", 12, 12)
+        sim = Simulator3D(plan, rng)
+        walk = l_shape(Vec2(2, 2), 0.3, leg1=2.8, leg2=2.2)
+        prof = ramp_profile(0.0, 1.2, walk.times[0], walk.times[0] + 2.5)
+        return sim.simulate(walk, prof, beacon), walk
+
+    def test_measurement_has_all_streams(self):
+        m, _ = self._measure()
+        assert len(m.rssi_trace) > 20
+        assert len(m.pressure_hpa) == len(m.pressure_timestamps)
+        assert len(m.observer_imu.trace) > 100
+
+    def test_true_position_in_frame_z_relative_to_phone(self):
+        m, walk = self._measure()
+        truth = m.true_position_in_frame()
+        # Beacon at 2.8 m; phone starts at 0 + 1.2 m carry height.
+        assert truth.z == pytest.approx(2.8 - 1.2)
+
+    def test_higher_beacon_weaker_signal(self):
+        low, _ = self._measure(seed=1, beacon=Vec3(7.5, 6.0, 1.2))
+        rng_match, _ = self._measure(seed=1, beacon=Vec3(7.5, 6.0, 9.0))
+        assert (np.mean(rng_match.rssi_trace.values())
+                < np.mean(low.rssi_trace.values()))
+
+    def test_ramp_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            ramp_profile(0.0, 1.0, 2.0, 2.0)
+
+    def test_ramp_profile_shape(self):
+        prof = ramp_profile(0.0, 2.0, 1.0, 3.0)
+        assert prof(0.0) == 0.0
+        assert prof(2.0) == pytest.approx(1.0)
+        assert prof(5.0) == 2.0
+
+    def test_end_to_end_3d_estimation(self):
+        """The Sec. 9.3 flow: simulate, dead-reckon, barometer, 3-D fit."""
+        from repro.core.anf import AdaptiveNoiseFilter
+        from repro.imu.barometer import BarometerModel
+        from repro.motion import MotionTracker
+
+        errs = []
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            m, walk = self._measure(seed=seed)
+            truth = m.true_position_in_frame()
+            track = MotionTracker().track(m.observer_imu.trace)
+            rel_alt = BarometerModel(rng).estimate_relative_altitude(
+                m.pressure_hpa)
+            ts = m.rssi_trace.timestamps()
+            p = np.array([-track.displacement_at(t).x for t in ts])
+            q = np.array([-track.displacement_at(t).y for t in ts])
+            r = -np.interp(ts, m.pressure_timestamps, rel_alt)
+            filt = AdaptiveNoiseFilter().apply(
+                m.rssi_trace.values(), m.rssi_trace.mean_rate_hz())
+            fit = Estimator3D(
+                planar=EllipticalEstimator().with_environment("LOS")
+            ).fit(p, q, r, filt)
+            errs.append(fit.position.distance_to(truth))
+        assert np.median(errs) < 4.0

@@ -1,0 +1,107 @@
+"""Failure injection: corrupted or degenerate inputs must fail cleanly.
+
+Every failure here must raise a :class:`~repro.errors.ReproError` subclass
+with an actionable message — never a bare numpy warning-turned-garbage
+estimate, an unrelated exception, or a silent wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import LocBLE
+from repro.errors import ConfigurationError, InsufficientDataError, ReproError
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.types import ImuSample, ImuTrace, RssiTrace
+from repro.world.scenarios import scenario
+from repro.world.trajectory import l_shape
+
+
+@pytest.fixture(scope="module")
+def session():
+    rng = np.random.default_rng(0)
+    sc = scenario(1)
+    sim = Simulator(sc.floorplan, rng)
+    walk = l_shape(sc.observer_start, sc.observer_heading_rad)
+    return sim.simulate(walk, [BeaconSpec("b", position=sc.beacon_position)])
+
+
+class TestCorruptedRssi:
+    def test_nan_values_rejected_with_count(self, session):
+        tr = session.rssi_traces["b"]
+        vals = tr.values().copy()
+        vals[3] = np.nan
+        vals[7] = np.nan
+        bad = RssiTrace.from_arrays(tr.timestamps(), vals)
+        with pytest.raises(ConfigurationError, match="2 non-finite"):
+            LocBLE().estimate(bad, session.observer_imu.trace)
+
+    def test_inf_values_rejected(self, session):
+        tr = session.rssi_traces["b"]
+        vals = tr.values().copy()
+        vals[0] = np.inf
+        bad = RssiTrace.from_arrays(tr.timestamps(), vals)
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            LocBLE().estimate(bad, session.observer_imu.trace)
+
+    def test_unsorted_timestamps_rejected(self, session):
+        tr = session.rssi_traces["b"]
+        ts = tr.timestamps().copy()
+        ts[3], ts[10] = ts[10], ts[3]
+        bad = RssiTrace.from_arrays(ts, tr.values())
+        with pytest.raises(ConfigurationError, match="not sorted"):
+            LocBLE().estimate(bad, session.observer_imu.trace)
+
+    def test_duplicate_timestamps_tolerated(self, session):
+        # Equal timestamps (coalesced reports) are legal, merely redundant.
+        tr = session.rssi_traces["b"]
+        ts = tr.timestamps().copy()
+        ts[5] = ts[4]
+        ok = RssiTrace.from_arrays(np.sort(ts), tr.values())
+        est = LocBLE().estimate(ok, session.observer_imu.trace)
+        assert np.isfinite(est.position.x)
+
+
+class TestDegenerateMotion:
+    def test_stationary_observer_refused(self, session):
+        still = ImuTrace([
+            ImuSample(t, 0.0, 0.0, 0.0) for t in np.arange(0, 5, 0.02)
+        ])
+        with pytest.raises(InsufficientDataError, match="barely moved"):
+            LocBLE().estimate(session.rssi_traces["b"], still)
+
+    def test_empty_imu_refused(self, session):
+        with pytest.raises(ReproError):
+            LocBLE().estimate(session.rssi_traces["b"], ImuTrace([]))
+
+
+class TestDegenerateTraces:
+    def test_single_sample_refused(self, session):
+        tiny = RssiTrace(session.rssi_traces["b"].samples[:1])
+        with pytest.raises(InsufficientDataError):
+            LocBLE().estimate(tiny, session.observer_imu.trace)
+
+    def test_constant_rssi_still_terminates(self, session):
+        """A flat RSS trace carries no geometry; the estimator must return
+        *something* finite or raise a ReproError, never hang or crash."""
+        tr = session.rssi_traces["b"]
+        flat = RssiTrace.from_arrays(tr.timestamps(),
+                                     np.full(len(tr), -70.0))
+        try:
+            est = LocBLE().estimate(flat, session.observer_imu.trace)
+            assert np.isfinite(est.position.x)
+        except ReproError:
+            pass
+
+    def test_everything_raises_repro_errors_only(self, session):
+        """The API boundary contract: all failure modes surface as
+        ReproError subclasses."""
+        tr = session.rssi_traces["b"]
+        corruptions = [
+            RssiTrace([]),
+            RssiTrace(tr.samples[:2]),
+            RssiTrace.from_arrays(tr.timestamps(),
+                                  np.full(len(tr), np.nan)),
+        ]
+        for bad in corruptions:
+            with pytest.raises(ReproError):
+                LocBLE().estimate(bad, session.observer_imu.trace)

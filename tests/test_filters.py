@@ -1,0 +1,201 @@
+"""Tests for the signal-processing substrate (Butterworth, Kalman, smoothing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal as sps
+
+from repro.errors import ConfigurationError
+from repro.filters.butterworth import (
+    ButterworthLowPass,
+    butter_lowpass_sos,
+    sos_filter,
+)
+from repro.filters.kalman import AdaptiveKalman, ScalarKalman, adaptive_kalman_fuse
+from repro.filters.smoothing import differentiate, moving_average, moving_median
+
+
+class TestButterworthDesign:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6, 8])
+    def test_matches_scipy(self, order):
+        """Our from-scratch design must agree with scipy's to numerical noise."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=256)
+        mine = sos_filter(butter_lowpass_sos(order, 0.8, 9.0), x)
+        ref = sps.sosfilt(sps.butter(order, 0.8, fs=9.0, output="sos"), x)
+        assert np.max(np.abs(mine - ref)) < 1e-10
+
+    def test_dc_gain_unity(self):
+        sos = butter_lowpass_sos(6, 0.8, 9.0)
+        y = sos_filter(sos, np.ones(500))
+        assert y[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cutoff_is_3db_point(self):
+        sos = butter_lowpass_sos(6, 1.0, 10.0)
+        t = np.arange(4000) / 10.0
+        x = np.sin(2 * np.pi * 1.0 * t)
+        y = sos_filter(sos, x)
+        gain = np.max(np.abs(y[2000:])) / 1.0
+        assert gain == pytest.approx(10 ** (-3 / 20), abs=0.03)
+
+    def test_high_frequency_heavily_attenuated(self):
+        sos = butter_lowpass_sos(6, 0.8, 9.0)
+        t = np.arange(2000) / 9.0
+        x = np.sin(2 * np.pi * 3.5 * t)  # well above cutoff
+        y = sos_filter(sos, x)
+        assert np.max(np.abs(y[1000:])) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            butter_lowpass_sos(0, 1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            butter_lowpass_sos(4, 6.0, 10.0)  # above Nyquist
+        with pytest.raises(ConfigurationError):
+            sos_filter(np.ones((2, 5)), [1.0, 2.0])
+
+
+class TestButterworthLowPass:
+    def test_no_startup_ringing(self):
+        bf = ButterworthLowPass()
+        x = np.full(50, -70.0)
+        y = bf.apply(x)
+        assert np.max(np.abs(y - (-70.0))) < 1e-3
+
+    def test_empty_input(self):
+        assert ButterworthLowPass().apply([]).size == 0
+
+    def test_causal_delay_visible_on_step(self):
+        """The BF lag the paper's Fig. 4 shows: a causal 6th-order filter
+        trails a step change."""
+        bf = ButterworthLowPass(order=6, cutoff_hz=0.8, fs_hz=9.0)
+        x = np.concatenate([np.full(60, -80.0), np.full(60, -70.0)])
+        y = bf.apply(x)
+        # Just after the step the output is still far from the new level.
+        assert y[63] < -75.0
+        # Eventually it converges.
+        assert y[-1] == pytest.approx(-70.0, abs=0.5)
+
+    def test_smooths_noise(self, rng):
+        bf = ButterworthLowPass()
+        x = -70.0 + rng.normal(0, 3.0, 300)
+        y = bf.apply(x)
+        assert np.std(y[50:]) < 0.5 * np.std(x[50:])
+
+
+class TestScalarKalman:
+    def test_first_sample_initialises(self):
+        kf = ScalarKalman(process_var=0.1, measurement_var=1.0)
+        assert kf.step(-70.0) == -70.0
+
+    def test_converges_to_constant(self):
+        kf = ScalarKalman(process_var=0.001, measurement_var=4.0)
+        rng = np.random.default_rng(0)
+        out = kf.filter(-70.0 + rng.normal(0, 2, 500))
+        assert abs(out[-1] + 70.0) < 0.5
+
+    def test_control_input_shifts_prediction(self):
+        kf = ScalarKalman(process_var=0.01, measurement_var=100.0)
+        kf.step(0.0)
+        kf.p = 1e-6  # certain state: the update should barely correct
+        v = kf.step(0.0, control=5.0)
+        assert v > 4.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScalarKalman(process_var=-1.0, measurement_var=1.0)
+        with pytest.raises(ConfigurationError):
+            ScalarKalman(process_var=0.1, measurement_var=0.0)
+
+
+class TestAdaptiveKalman:
+    def test_r_adapts_upward_in_noise(self):
+        akf = AdaptiveKalman(initial_measurement_var=1.0)
+        rng = np.random.default_rng(0)
+        for z in rng.normal(0, 6.0, 100):
+            akf.step(z)
+        assert akf._r > 2.0
+
+    def test_r_clamped(self):
+        akf = AdaptiveKalman(initial_measurement_var=1.0)
+        rng = np.random.default_rng(0)
+        for z in rng.normal(0, 100.0, 200):
+            akf.step(z)
+        assert akf._r <= 25.0
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveKalman(window=1)
+
+
+class TestAkfFusion:
+    def test_more_responsive_than_bf_alone(self):
+        """The claim of Fig. 4: BF+AKF reacts to a step faster than BF."""
+        rng = np.random.default_rng(1)
+        x = np.concatenate([np.full(80, -70.0), np.full(80, -80.0)])
+        x += rng.normal(0, 2.0, 160)
+        bf = ButterworthLowPass().apply(x)
+        fused = adaptive_kalman_fuse(x, bf)
+        # Integrated tracking error after the step must be lower for fused.
+        true = np.concatenate([np.full(80, -70.0), np.full(80, -80.0)])
+        err_bf = np.sum(np.abs(bf[80:100] - true[80:100]))
+        err_fused = np.sum(np.abs(fused[80:100] - true[80:100]))
+        assert err_fused < err_bf
+
+    def test_smoother_than_raw(self):
+        rng = np.random.default_rng(2)
+        x = -70.0 + rng.normal(0, 3.0, 300)
+        bf = ButterworthLowPass().apply(x)
+        fused = adaptive_kalman_fuse(x, bf)
+        assert np.std(np.diff(fused)) < np.std(np.diff(x))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_kalman_fuse([1.0, 2.0], [1.0])
+
+
+class TestSmoothing:
+    def test_moving_average_constant(self):
+        x = np.full(20, 3.0)
+        assert np.allclose(moving_average(x, 5), 3.0)
+
+    def test_moving_average_edges_unbiased(self):
+        # Shrinking windows at the edges: first output equals the mean of
+        # the first half-window, not a zero-padded value.
+        x = np.arange(10.0)
+        y = moving_average(x, 5)
+        assert y[0] == pytest.approx(np.mean(x[:3]))
+        assert y[-1] == pytest.approx(np.mean(x[-3:]))
+
+    def test_moving_average_window_one(self):
+        x = np.array([1.0, 5.0, 2.0])
+        assert np.array_equal(moving_average(x, 1), x)
+
+    def test_moving_median_rejects_spikes(self):
+        x = np.full(21, 1.0)
+        x[10] = 100.0
+        y = moving_median(x, 5)
+        assert y[10] == 1.0
+
+    def test_differentiate(self):
+        assert np.array_equal(differentiate([1.0, 3.0, 6.0]), [2.0, 3.0])
+
+    def test_differentiate_removes_offsets(self):
+        # The DTW preprocessing property: constant device offsets vanish.
+        x = np.array([1.0, 2.0, 4.0, 7.0])
+        assert np.array_equal(differentiate(x), differentiate(x + 11.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            moving_average([1.0], 0)
+        with pytest.raises(ConfigurationError):
+            differentiate([1.0])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.integers(min_value=1, max_value=9))
+    @settings(max_examples=50)
+    def test_moving_average_bounded_by_extremes(self, xs, window):
+        y = moving_average(xs, window)
+        assert np.all(y >= min(xs) - 1e-9)
+        assert np.all(y <= max(xs) + 1e-9)

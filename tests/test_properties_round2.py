@@ -1,0 +1,185 @@
+"""Second round of property-based tests: simulator, scanner, tracker, DTW."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ble.devices import PHONES
+from repro.ble.interference import crowding_loss_probability
+from repro.ble.scanner import Scanner, resample_trace
+from repro.core.tracking import BeaconTracker
+from repro.dtw.segmatch import SegmentMatcher
+from repro.imu.barometer import altitude_from_pressure, pressure_at_altitude
+from repro.ml.metrics import accuracy, confusion_matrix
+from repro.sim.montecarlo import empirical_cdf, summarize
+from repro.types import LocationEstimate, RssiSample, RssiTrace, Vec2
+from repro.world.trajectory import Trajectory
+
+
+class TestScannerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.8),
+           st.integers(0, 10**6))
+    def test_more_loss_never_more_samples(self, loss, seed):
+        samples = [RssiSample(i * 0.1, -70.0, "b") for i in range(80)]
+        clean = Scanner(PHONES["iphone_6s"], np.random.default_rng(seed),
+                        base_loss_prob=0.0)
+        lossy = Scanner(PHONES["iphone_6s"], np.random.default_rng(seed),
+                        base_loss_prob=0.0, interference_loss_prob=loss)
+        assert len(lossy.receive(samples)) <= len(clean.receive(samples))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=12.0))
+    def test_resample_never_exceeds_target_rate(self, target_hz):
+        trace = RssiTrace.from_arrays(
+            [i * 0.11 for i in range(60)], [-70.0] * 60)
+        out = resample_trace(trace, target_hz)
+        assert len(out) >= 1
+        if len(out) > 2:
+            assert out.mean_rate_hz() <= target_hz * 1.05
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=12.0))
+    def test_resample_preserves_order_and_membership(self, target_hz):
+        trace = RssiTrace.from_arrays(
+            [i * 0.11 for i in range(40)], [-70.0 - i for i in range(40)])
+        out = resample_trace(trace, target_hz)
+        ts = out.timestamps()
+        assert np.all(np.diff(ts) > 0)
+        original = set(trace.timestamps().tolist())
+        assert set(ts.tolist()) <= original
+
+
+class TestCrowdingProperties:
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=500),
+           st.floats(min_value=1.0, max_value=50.0))
+    def test_loss_in_unit_interval_and_monotone(self, n, half_load):
+        p = crowding_loss_probability(n, half_load)
+        assert 0.0 <= p < 1.0
+        assert crowding_loss_probability(n + 1, half_load) >= p
+
+
+class TestTrackerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10)), min_size=2, max_size=12))
+    def test_position_std_stays_positive_finite(self, fixes):
+        tr = BeaconTracker()
+        for k, (x, y) in enumerate(fixes):
+            state = tr.update(float(k), LocationEstimate(
+                position=Vec2(x, y), position_std=1.0))
+            assert state.position_std > 0
+            assert math.isfinite(state.position_std)
+            assert math.isfinite(state.position.x)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_prediction_uncertainty_grows_with_horizon(self, horizon):
+        tr = BeaconTracker()
+        for k in range(5):
+            tr.update(float(k), LocationEstimate(position=Vec2(1, 1),
+                                                 position_std=0.5))
+        near = tr.predict(4.0 + horizon / 2)
+        far = tr.predict(4.0 + horizon)
+        assert far.position_std >= near.position_std
+
+
+class TestBarometerProperties:
+    @settings(max_examples=40)
+    @given(st.floats(min_value=-50, max_value=200),
+           st.floats(min_value=950, max_value=1050))
+    def test_pressure_altitude_bijection(self, alt, ref):
+        assert altitude_from_pressure(
+            pressure_at_altitude(alt, ref), ref) == pytest.approx(alt)
+
+
+class TestSegmentMatcherProperties:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10**6))
+    def test_self_match_always_succeeds(self, seed):
+        """A trace must always cluster with a noisy copy of itself."""
+        rng = np.random.default_rng(seed)
+        ts = np.arange(45) / 9.0
+        trend = -60 - 16 * np.log10(1 + ts)
+        a = RssiTrace.from_arrays(ts, trend + rng.normal(0, 0.8, 45), "a")
+        b = RssiTrace.from_arrays(ts, trend - 5 + rng.normal(0, 0.8, 45), "b")
+        assert SegmentMatcher().match(a, b).matched
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10**6), st.floats(min_value=-15, max_value=15))
+    def test_offset_invariance(self, seed, offset):
+        """Matching is invariant to a constant device offset."""
+        rng = np.random.default_rng(seed)
+        ts = np.arange(45) / 9.0
+        trend = -60 - 16 * np.log10(1 + ts) + rng.normal(0, 1.0, 45)
+        a = RssiTrace.from_arrays(ts, trend, "a")
+        b = RssiTrace.from_arrays(ts, trend + offset, "b")
+        base = SegmentMatcher().match(a, RssiTrace.from_arrays(ts, trend, "c"))
+        shifted = SegmentMatcher().match(a, b)
+        assert shifted.matched == base.matched
+
+
+class TestMetricsProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1,
+                    max_size=60))
+    def test_confusion_row_sums_equal_class_counts(self, labels):
+        pred = list(reversed(labels))
+        c, names = confusion_matrix(labels, pred)
+        for i, name in enumerate(names):
+            assert c[i].sum() == labels.count(name)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=60))
+    def test_accuracy_matches_trace_of_confusion(self, labels):
+        pred = labels[:1] * len(labels)
+        c, _ = confusion_matrix(labels, pred)
+        assert accuracy(labels, pred) == pytest.approx(
+            np.trace(c) / len(labels))
+
+
+class TestMonteCarloProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False),
+                    min_size=1, max_size=100))
+    def test_summary_ordering(self, errors):
+        s = summarize(errors)
+        assert min(errors) <= s.median <= s.p75 <= s.p90 <= s.maximum
+        assert s.maximum == max(errors)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False),
+                    min_size=1, max_size=100))
+    def test_cdf_right_continuous_to_one(self, errors):
+        e, f = empirical_cdf(errors)
+        assert f[-1] == pytest.approx(1.0)
+        assert len(e) == len(errors)
+
+
+class TestTrajectoryFrameProperties:
+    @settings(max_examples=40)
+    @given(st.floats(min_value=-math.pi, max_value=math.pi),
+           st.floats(min_value=-20, max_value=20),
+           st.floats(min_value=-20, max_value=20))
+    def test_to_from_frame_roundtrip(self, heading, px, py):
+        t = Trajectory([Vec2(3, 4), Vec2(3, 4) + Vec2.from_polar(2, heading)],
+                       [0.0, 2.0])
+        p = Vec2(px, py)
+        assert t.from_frame(t.to_frame(p)).distance_to(p) < 1e-9
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=-math.pi, max_value=math.pi),
+           st.floats(min_value=-20, max_value=20),
+           st.floats(min_value=-20, max_value=20))
+    def test_frame_preserves_distances(self, heading, px, py):
+        t = Trajectory([Vec2(1, 1), Vec2(1, 1) + Vec2.from_polar(3, heading)],
+                       [0.0, 3.0])
+        p = Vec2(px, py)
+        assert t.to_frame(p).norm() == pytest.approx(
+            p.distance_to(Vec2(1, 1)))

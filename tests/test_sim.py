@@ -1,0 +1,228 @@
+"""Tests for the measurement simulator, dataset builder and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.ble.devices import BEACONS, PHONES
+from repro.errors import ConfigurationError
+from repro.sim.datasets import EnvDatasetBuilder, windows_from_trace
+from repro.sim.simulator import BeaconSpec, Simulator
+from repro.sim.traces import (
+    imu_trace_from_dict,
+    imu_trace_to_dict,
+    load_session,
+    rssi_trace_from_dict,
+    rssi_trace_to_dict,
+    save_session,
+)
+from repro.types import EnvClass, RssiTrace, Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.obstacles import wall
+from repro.world.scenarios import scenario
+from repro.world.trajectory import l_shape, straight_walk
+
+
+class TestBeaconSpec:
+    def test_requires_exactly_one_placement(self):
+        with pytest.raises(ConfigurationError):
+            BeaconSpec("b")
+        with pytest.raises(ConfigurationError):
+            BeaconSpec("b", position=Vec2(0, 0),
+                       trajectory=straight_walk(Vec2(0, 0), 0.0, 1.0))
+
+    def test_static_position(self):
+        spec = BeaconSpec("b", position=Vec2(1, 2))
+        assert not spec.moving
+        assert spec.position_at(99.0) == Vec2(1, 2)
+
+    def test_moving_position(self):
+        spec = BeaconSpec("b", trajectory=straight_walk(Vec2(0, 0), 0.0, 2.0,
+                                                        speed=1.0))
+        assert spec.moving
+        assert spec.position_at(1.0).x == pytest.approx(1.0)
+
+
+class TestSimulator:
+    def _run(self, seed=0, **kw):
+        rng = np.random.default_rng(seed)
+        sc = scenario(1)
+        sim = Simulator(sc.floorplan, rng, **kw)
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad)
+        rec = sim.simulate(walk, [BeaconSpec("b", position=sc.beacon_position)])
+        return rec
+
+    def test_trace_rate_near_phone_sampling(self):
+        rec = self._run()
+        rate = rec.rssi_traces["b"].mean_rate_hz()
+        assert 6.0 <= rate <= rec.phone.sampling_hz + 0.5
+
+    def test_rssi_plausible_values(self):
+        rec = self._run()
+        vals = rec.rssi_traces["b"].values()
+        assert np.all(vals < -30) and np.all(vals > -100)
+        assert np.all(vals == np.round(vals))  # integer dBm
+
+    def test_env_labels_aligned(self):
+        rec = self._run()
+        assert len(rec.env_labels["b"]) == len(rec.rssi_traces["b"])
+        assert set(rec.env_labels["b"]) <= set(EnvClass.ALL)
+
+    def test_ground_truth_frame_position(self):
+        rec = self._run()
+        truth = rec.true_position_in_frame("b")
+        # Frame distance equals world distance at t0.
+        d_world = rec.beacons["b"].position_at(0.0).distance_to(
+            rec.observer_trajectory.start
+        )
+        assert truth.norm() == pytest.approx(d_world)
+
+    def test_rss_decreases_with_distance_on_average(self):
+        rng = np.random.default_rng(1)
+        plan = Floorplan("long", 30.0, 5.0)
+        sim = Simulator(plan, rng)
+        walk = straight_walk(Vec2(1.0, 2.5), 0.0, 20.0)
+        rec = sim.simulate(walk, [BeaconSpec("b", position=Vec2(1.0, 2.5))])
+        vals = rec.rssi_traces["b"].values()
+        n = len(vals)
+        assert np.mean(vals[: n // 4]) > np.mean(vals[-n // 4:]) + 8.0
+
+    def test_duplicate_ids_rejected(self):
+        rng = np.random.default_rng(0)
+        sim = Simulator(Floorplan("t", 5, 5), rng)
+        walk = straight_walk(Vec2(1, 1), 0.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(walk, [BeaconSpec("b", position=Vec2(2, 2)),
+                                BeaconSpec("b", position=Vec2(3, 3))])
+
+    def test_needs_beacons(self):
+        rng = np.random.default_rng(0)
+        sim = Simulator(Floorplan("t", 5, 5), rng)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(straight_walk(Vec2(1, 1), 0.0, 2.0), [])
+
+    def test_moving_target_gets_target_imu(self):
+        rng = np.random.default_rng(2)
+        plan = Floorplan("t", 12, 12)
+        sim = Simulator(plan, rng)
+        observer = l_shape(Vec2(2, 2), 0.0)
+        target = straight_walk(Vec2(8, 8), 3.0, 3.0)
+        rec = sim.simulate(observer, [
+            BeaconSpec("m", trajectory=target, profile=BEACONS["ios_device"])
+        ])
+        assert rec.target_id == "m"
+        assert rec.target_imu is not None
+        assert len(rec.target_imu.trace) > 0
+
+    def test_two_moving_targets_rejected(self):
+        rng = np.random.default_rng(2)
+        sim = Simulator(Floorplan("t", 12, 12), rng)
+        t1 = straight_walk(Vec2(8, 8), 3.0, 2.0)
+        t2 = straight_walk(Vec2(4, 8), 2.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(l_shape(Vec2(2, 2), 0.0),
+                         [BeaconSpec("a", trajectory=t1),
+                          BeaconSpec("b", trajectory=t2)])
+
+    def test_interference_thins_trace(self):
+        quiet = self._run(seed=3)
+        noisy = self._run(seed=3, interference_loss_prob=0.6)
+        assert len(noisy.rssi_traces["b"]) < len(quiet.rssi_traces["b"])
+
+    def test_nlos_wall_lowers_rss(self):
+        rng = np.random.default_rng(4)
+        blocked_plan = Floorplan(
+            "t", 10, 10, obstacles=[wall(0, 5, 10, 5, "concrete_wall")]
+        )
+        walk = straight_walk(Vec2(5.0, 1.0), 0.0, 2.0)
+        spec = [BeaconSpec("b", position=Vec2(5.0, 9.0))]
+        blocked = Simulator(blocked_plan, rng).simulate(walk, spec)
+        rng2 = np.random.default_rng(4)
+        open_rec = Simulator(Floorplan("t", 10, 10), rng2).simulate(walk, spec)
+        assert (np.mean(blocked.rssi_traces["b"].values())
+                < np.mean(open_rec.rssi_traces["b"].values()) - 5.0)
+        assert set(blocked.env_labels["b"]) == {EnvClass.NLOS}
+
+
+class TestWindowsFromTrace:
+    def test_windowing_counts(self):
+        ts = np.arange(90) / 9.0  # 10 s at 9 Hz
+        trace = RssiTrace.from_arrays(ts, np.full(90, -70.0))
+        wins = windows_from_trace(trace, ["LOS"] * 90, window_s=2.0)
+        assert len(wins) == 5
+        assert all(w.label == "LOS" for w in wins)
+
+    def test_majority_label(self):
+        ts = np.arange(18) / 9.0
+        trace = RssiTrace.from_arrays(ts, np.full(18, -70.0))
+        labels = ["LOS"] * 12 + ["NLOS"] * 6
+        wins = windows_from_trace(trace, labels, window_s=2.0)
+        assert wins[0].label == "LOS"
+
+    def test_sparse_windows_dropped(self):
+        ts = [0.0, 0.5, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6, 2.7, 2.9]
+        trace = RssiTrace.from_arrays(ts, [-70.0] * len(ts))
+        wins = windows_from_trace(trace, ["LOS"] * len(ts), window_s=2.0,
+                                  min_samples=8)
+        assert len(wins) == 1  # only the second window is dense enough
+
+    def test_label_alignment_enforced(self):
+        trace = RssiTrace.from_arrays([0.0, 0.1], [-70.0, -71.0])
+        with pytest.raises(ConfigurationError):
+            windows_from_trace(trace, ["LOS"])
+
+
+class TestEnvDatasetBuilder:
+    def test_balanced_classes(self):
+        builder = EnvDatasetBuilder(np.random.default_rng(0))
+        windows, labels = builder.build(sessions_per_class=3)
+        counts = {c: labels.count(c) for c in EnvClass.ALL}
+        assert all(v >= 5 for v in counts.values())
+        assert max(counts.values()) < 4 * min(counts.values())
+
+    def test_validation(self):
+        builder = EnvDatasetBuilder(np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            builder.build(sessions_per_class=0)
+
+    def test_nlos_windows_noisier_than_los(self):
+        builder = EnvDatasetBuilder(np.random.default_rng(1))
+        windows, labels = builder.build(sessions_per_class=4)
+        var = {c: [] for c in EnvClass.ALL}
+        for w, l in zip(windows, labels):
+            var[l].append(np.var(w))
+        assert np.mean(var[EnvClass.NLOS]) > np.mean(var[EnvClass.LOS])
+
+
+class TestPersistence:
+    def test_rssi_roundtrip(self, rng, tmp_path):
+        ts = np.arange(20) / 9.0
+        trace = RssiTrace.from_arrays(ts, rng.normal(-70, 3, 20), "b1",
+                                      channels=[37 + i % 3 for i in range(20)])
+        again = rssi_trace_from_dict(rssi_trace_to_dict(trace))
+        assert again.samples == trace.samples
+
+    def test_session_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        sc = scenario(2)
+        sim = Simulator(sc.floorplan, rng)
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad)
+        rec = sim.simulate(walk, [BeaconSpec("b", position=sc.beacon_position)])
+        path = tmp_path / "session.json"
+        save_session(path, rec.rssi_traces, rec.observer_imu.trace,
+                     metadata={"scenario": 2})
+        rssi, imu, meta = load_session(path)
+        assert rssi["b"].samples == rec.rssi_traces["b"].samples
+        assert len(imu) == len(rec.observer_imu.trace)
+        assert meta == {"scenario": 2}
+
+    def test_wrong_record_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rssi_trace_from_dict({"type": "imu", "samples": []})
+        with pytest.raises(ConfigurationError):
+            imu_trace_from_dict({"type": "rssi", "samples": []})
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 99}')
+        with pytest.raises(ConfigurationError):
+            load_session(path)

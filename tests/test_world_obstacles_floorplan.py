@@ -1,0 +1,125 @@
+"""Tests for obstacles, materials and floorplan LOS classification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import EnvClass, Vec2
+from repro.world.floorplan import Floorplan
+from repro.world.obstacles import MATERIALS, Material, Obstacle, wall
+from repro.world.geometry import Segment
+
+
+class TestMaterial:
+    def test_catalogue_covers_paper_examples(self):
+        # The paper names glass/wood/human as p-LOS and concrete/cinder/metal
+        # as NLOS blockers (Sec. 4.1).
+        for name in ("glass", "wood_door", "human_body"):
+            assert MATERIALS[name].env_class == EnvClass.P_LOS
+        for name in ("concrete_wall", "cinder_wall", "metal_board"):
+            assert MATERIALS[name].env_class == EnvClass.NLOS
+
+    def test_plos_attenuation_below_nlos(self):
+        max_plos = max(
+            m.attenuation_db for m in MATERIALS.values()
+            if m.env_class == EnvClass.P_LOS
+        )
+        min_nlos = min(
+            m.attenuation_db for m in MATERIALS.values()
+            if m.env_class == EnvClass.NLOS
+        )
+        assert max_plos < min_nlos
+
+    def test_invalid_materials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Material("x", -1.0, 0.0, EnvClass.NLOS)
+        with pytest.raises(ConfigurationError):
+            Material("x", 5.0, 0.0, EnvClass.LOS)
+
+
+class TestObstacle:
+    def test_blocks_crossing_ray(self):
+        ob = wall(0, 1, 2, 1, "glass")
+        assert ob.blocks(Vec2(1, 0), Vec2(1, 2))
+        assert not ob.blocks(Vec2(3, 0), Vec2(3, 2))
+
+    def test_moved_to(self):
+        ob = wall(0, 1, 2, 1, "glass")
+        moved = ob.moved_to(Vec2(0, 5), Vec2(2, 5))
+        assert moved.segment.a.y == 5
+        assert moved.material is ob.material
+        assert ob.segment.a.y == 1  # original untouched
+
+    def test_unknown_material(self):
+        with pytest.raises(ConfigurationError):
+            wall(0, 0, 1, 1, "vibranium")
+
+    def test_default_name_from_material(self):
+        assert wall(0, 0, 1, 1, "glass").name == "glass"
+
+
+class TestFloorplan:
+    def test_dimensions_validated(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan("bad", -1.0, 5.0)
+
+    def test_contains(self):
+        plan = Floorplan("room", 5.0, 4.0)
+        assert plan.contains(Vec2(2.5, 2.0))
+        assert not plan.contains(Vec2(5.1, 2.0))
+
+    def test_clear_link_is_los(self):
+        plan = Floorplan("room", 5.0, 5.0)
+        state = plan.classify_link(Vec2(0.5, 0.5), Vec2(4.5, 4.5))
+        assert state.env_class == EnvClass.LOS
+        assert state.excess_loss_db == 0.0
+        assert state.n_blockers == 0
+
+    def test_single_plos_blocker(self):
+        plan = Floorplan("room", 5.0, 5.0, obstacles=[wall(0, 2, 5, 2, "glass")])
+        state = plan.classify_link(Vec2(2.5, 0.5), Vec2(2.5, 4.5))
+        assert state.env_class == EnvClass.P_LOS
+        assert state.excess_loss_db == MATERIALS["glass"].attenuation_db
+
+    def test_nlos_dominates_plos(self):
+        plan = Floorplan(
+            "room", 5.0, 5.0,
+            obstacles=[wall(0, 2, 5, 2, "glass"), wall(0, 3, 5, 3, "concrete_wall")],
+        )
+        state = plan.classify_link(Vec2(2.5, 0.5), Vec2(2.5, 4.5))
+        assert state.env_class == EnvClass.NLOS
+        assert state.n_blockers == 2
+        expected = (
+            MATERIALS["glass"].attenuation_db
+            + MATERIALS["concrete_wall"].attenuation_db
+        )
+        assert state.excess_loss_db == pytest.approx(expected)
+
+    def test_distance_reported(self):
+        plan = Floorplan("room", 5.0, 5.0)
+        state = plan.classify_link(Vec2(0, 0), Vec2(3, 4))
+        assert state.distance == pytest.approx(5.0)
+
+    def test_mobile_obstacle_motion(self):
+        ob = Obstacle(
+            Segment(Vec2(0, 2), Vec2(1, 2)), MATERIALS["human_body"],
+            mobile=True,
+        )
+
+        def mover(o, t):
+            # Person steps into the link after t=1.
+            if t > 1.0:
+                return o.moved_to(Vec2(2, 2), Vec2(3, 2))
+            return o
+
+        plan = Floorplan("room", 5.0, 5.0, obstacles=[ob],
+                         obstacle_motion=mover)
+        before = plan.classify_link(Vec2(2.5, 0.5), Vec2(2.5, 4.5), t=0.0)
+        after = plan.classify_link(Vec2(2.5, 0.5), Vec2(2.5, 4.5), t=2.0)
+        assert before.env_class == EnvClass.LOS
+        assert after.env_class == EnvClass.P_LOS
+
+    def test_with_obstacles_copy(self):
+        plan = Floorplan("room", 5.0, 5.0)
+        extended = plan.with_obstacles([wall(0, 2, 5, 2, "glass")])
+        assert len(extended.obstacles) == 1
+        assert len(plan.obstacles) == 0

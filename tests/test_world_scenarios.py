@@ -1,0 +1,95 @@
+"""Tests for the Table-1 scenario presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import EnvClass, Vec2
+from repro.world.obstacles import Obstacle, MATERIALS
+from repro.world.geometry import Segment
+from repro.world.scenarios import SCENARIOS, moving_human_crossing, scenario
+
+
+class TestScenarioCatalogue:
+    def test_nine_environments(self):
+        assert sorted(SCENARIOS) == list(range(1, 10))
+
+    def test_lookup_and_bad_index(self):
+        assert scenario(1).name == "meeting_room"
+        with pytest.raises(ConfigurationError):
+            scenario(0)
+        with pytest.raises(ConfigurationError):
+            scenario(10)
+
+    def test_scales_match_table1(self):
+        expected = {
+            1: (5, 5), 2: (8, 3), 3: (7, 7), 4: (7, 7), 5: (9, 10),
+            6: (9, 10), 7: (8, 10), 8: (9, 11), 9: (16, 15),
+        }
+        for idx, (w, h) in expected.items():
+            plan = scenario(idx).floorplan
+            assert (plan.width, plan.height) == (w, h)
+
+    def test_only_parking_lot_is_outdoor(self):
+        for idx in range(1, 10):
+            assert scenario(idx).floorplan.outdoor == (idx == 9)
+
+    def test_geometry_inside_floorplan(self):
+        for idx in range(1, 10):
+            sc = scenario(idx)
+            assert sc.floorplan.contains(sc.beacon_position)
+            assert sc.floorplan.contains(sc.observer_start)
+
+    def test_nominal_distances_in_ble_range(self):
+        # All default geometries must be inside usable BLE range (< 15 m).
+        for idx in range(1, 10):
+            assert 2.0 < scenario(idx).nominal_distance < 15.0
+
+    def test_meeting_room_is_los(self):
+        sc = scenario(1)
+        state = sc.floorplan.classify_link(sc.beacon_position, sc.observer_start)
+        assert state.env_class == EnvClass.LOS
+
+    def test_labs_and_hall_are_nlos(self):
+        # Environments 7 and 8 motivate the clustering experiment via
+        # "heavy blockage" (Sec. 7.7).
+        for idx in (7, 8):
+            sc = scenario(idx)
+            state = sc.floorplan.classify_link(
+                sc.beacon_position, sc.observer_start
+            )
+            assert state.env_class == EnvClass.NLOS
+
+    def test_paper_accuracies_recorded(self):
+        assert scenario(1).paper_accuracy_m == 0.8
+        assert scenario(7).paper_accuracy_m == 2.3
+        assert scenario(9).paper_accuracy_m == 1.2
+
+
+class TestMovingHumanCrossing:
+    def _obstacle(self):
+        return Obstacle(
+            Segment(Vec2(0, 3), Vec2(0.6, 3)), MATERIALS["human_body"],
+            mobile=True,
+        )
+
+    def test_sweeps_across_range(self):
+        mover = moving_human_crossing(3.0, (0.0, 4.0), period_s=4.0)
+        ob = self._obstacle()
+        xs = [mover(ob, t).segment.midpoint().x for t in (0.0, 1.0, 2.0, 3.0)]
+        assert xs[0] == pytest.approx(xs[0])
+        assert max(xs) > 3.0 and min(xs) < 1.0
+
+    def test_periodic(self):
+        mover = moving_human_crossing(3.0, (0.0, 4.0), period_s=4.0)
+        ob = self._obstacle()
+        a = mover(ob, 0.5).segment.midpoint()
+        b = mover(ob, 4.5).segment.midpoint()
+        assert a.distance_to(b) < 1e-9
+
+    def test_stays_on_path_line(self):
+        mover = moving_human_crossing(2.5, (0.0, 4.0), period_s=3.0)
+        ob = self._obstacle()
+        for t in (0.0, 0.7, 1.9, 2.6):
+            seg = mover(ob, t).segment
+            assert seg.a.y == pytest.approx(2.5)
+            assert seg.b.y == pytest.approx(2.5)

@@ -1,0 +1,133 @@
+"""Tests for trajectories and the L-shape generator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.types import Vec2
+from repro.world.trajectory import (
+    Trajectory,
+    l_shape,
+    random_waypoint_walk,
+    straight_walk,
+)
+
+
+class TestTrajectoryValidation:
+    def test_times_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory([Vec2(0, 0), Vec2(1, 0)], [0.0, 0.0])
+
+    def test_waypoints_times_alignment(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory([Vec2(0, 0)], [0.0, 1.0])
+
+    def test_needs_a_waypoint(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory([], [])
+
+
+class TestInterpolation:
+    def _traj(self):
+        return Trajectory(
+            [Vec2(0, 0), Vec2(2, 0), Vec2(2, 2)], [0.0, 2.0, 4.0]
+        )
+
+    def test_position_midleg(self):
+        t = self._traj()
+        assert t.position_at(1.0) == Vec2(1.0, 0.0)
+        assert t.position_at(3.0) == Vec2(2.0, 1.0)
+
+    def test_position_clamped(self):
+        t = self._traj()
+        assert t.position_at(-5.0) == Vec2(0, 0)
+        assert t.position_at(99.0) == Vec2(2, 2)
+
+    def test_heading_per_leg(self):
+        t = self._traj()
+        assert t.heading_at(1.0) == pytest.approx(0.0)
+        assert t.heading_at(3.0) == pytest.approx(math.pi / 2)
+
+    def test_total_length_and_duration(self):
+        t = self._traj()
+        assert t.total_length() == pytest.approx(4.0)
+        assert t.duration == pytest.approx(4.0)
+
+    def test_legs(self):
+        legs = self._traj().legs()
+        assert len(legs) == 2
+        assert legs[0][0] == Vec2(0, 0)
+        assert legs[1][3] == 4.0
+
+    def test_turn_times(self):
+        assert self._traj().turn_times() == [2.0]
+
+
+class TestMeasurementFrame:
+    def test_frame_aligns_initial_heading(self):
+        # Walk starting north: frame +x must point north.
+        t = Trajectory([Vec2(1, 1), Vec2(1, 3)], [0.0, 2.0])
+        d = t.displacement_in_frame(2.0)
+        assert d.x == pytest.approx(2.0)
+        assert d.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_to_from_frame_roundtrip(self):
+        t = l_shape(Vec2(3, 4), math.radians(30))
+        p = Vec2(1.7, -2.3)
+        assert t.from_frame(t.to_frame(p)).distance_to(p) < 1e-9
+
+    def test_beacon_to_frame(self):
+        t = Trajectory([Vec2(0, 0), Vec2(0, 2)], [0.0, 2.0])  # walking +y
+        framed = t.to_frame(Vec2(-1.0, 0.0))  # beacon to the walker's...
+        # +x of frame is +y world; beacon at world (-1,0) is 1 m to the right
+        # of the walk direction (negative frame-y by right-hand rotation).
+        assert framed.x == pytest.approx(0.0, abs=1e-12)
+        assert framed.y == pytest.approx(1.0)
+
+
+class TestGenerators:
+    def test_l_shape_geometry(self):
+        t = l_shape(Vec2(0, 0), 0.0, leg1=2.5, leg2=2.0)
+        assert len(t.waypoints) == 3
+        assert t.waypoints[1] == Vec2(2.5, 0.0)
+        assert t.waypoints[2].distance_to(Vec2(2.5, 2.0)) < 1e-9
+        assert t.total_length() == pytest.approx(4.5)
+
+    def test_l_shape_total_in_paper_band(self):
+        # Default walk must sit in the paper's 3.5-5 m band (Sec. 7.6.2).
+        t = l_shape(Vec2(0, 0), 0.0)
+        assert 3.5 <= t.total_length() <= 5.0
+
+    def test_l_shape_custom_turn(self):
+        t = l_shape(Vec2(0, 0), 0.0, turn_rad=-math.pi / 2)
+        assert t.waypoints[2].y == pytest.approx(-2.0)
+
+    def test_l_shape_rejects_bad_legs(self):
+        with pytest.raises(ConfigurationError):
+            l_shape(Vec2(0, 0), 0.0, leg1=0.0)
+
+    def test_straight_walk(self):
+        t = straight_walk(Vec2(1, 1), math.pi / 2, 3.0, speed=1.5)
+        assert t.end.distance_to(Vec2(1, 4)) < 1e-9
+        assert t.duration == pytest.approx(2.0)
+
+    def test_random_walk_stays_in_bounds(self, rng):
+        t = random_waypoint_walk(Vec2(5, 5), 8, rng, bounds=(10.0, 10.0))
+        for w in t.waypoints:
+            assert 0 <= w.x <= 10 and 0 <= w.y <= 10
+
+    def test_random_walk_impossible_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_waypoint_walk(
+                Vec2(0.1, 0.1), 3, rng, leg_range=(5.0, 6.0), bounds=(1.0, 1.0)
+            )
+
+    @given(st.floats(min_value=0.5, max_value=2.0),
+           st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_walk_speed_consistency(self, speed, heading):
+        t = straight_walk(Vec2(0, 0), heading, 3.0, speed=speed)
+        assert t.duration == pytest.approx(3.0 / speed)
