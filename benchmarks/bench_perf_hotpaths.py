@@ -1,0 +1,191 @@
+"""Hot-path performance benchmarks: vectorized kernels vs their references.
+
+Times the three overhauled hot paths against the retained reference
+implementations and writes ``BENCH_perf.json`` at the repo root:
+
+* the estimator's exponent grid search (batched LS vs per-candidate loop);
+* banded DTW (two-buffer vectorized band vs per-cell DP);
+* the Monte-Carlo sweep (process pool vs serial — only meaningful on
+  multi-core hosts; the report records ``effective_cpus`` so a 1-CPU
+  container's numbers are not mistaken for a regression).
+
+Run directly (``python benchmarks/bench_perf_hotpaths.py``) or via pytest
+(``pytest benchmarks/bench_perf_hotpaths.py -m perf``). Render the report
+with ``python -m repro.perf.report``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.estimator import EllipticalEstimator
+from repro.dtw.dtw import _dtw_distance_reference, dtw_distance
+from repro.sim.montecarlo import stationary_trials
+from repro.world.scenarios import scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: (target speedups from the issue's acceptance criteria)
+TARGET_ESTIMATOR = 3.0
+TARGET_DTW = 5.0
+TARGET_PARALLEL = 2.0
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 7, number: int = 5) -> float:
+    """Best mean-per-call over ``repeats`` batches of ``number`` calls."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / number)
+    return best
+
+
+def _estimator_workload():
+    """A realistic L-walk regression input: 40 matched samples."""
+    rng = np.random.default_rng(7)
+    n_samples = 40
+    # Observer walks an L (2.8 m then 2.2 m); beacon 2.5 m off the path.
+    frac = np.linspace(0.0, 1.0, n_samples)
+    leg1 = frac < 0.56
+    ox = np.where(leg1, frac / 0.56 * 2.8, 2.8)
+    oy = np.where(leg1, 0.0, (frac - 0.56) / 0.44 * 2.2)
+    p, q = -ox, -oy
+    beacon = np.array([2.0, 2.5])
+    dist = np.hypot(ox - beacon[0], oy - beacon[1])
+    rss = -55.0 - 10.0 * 2.2 * np.log10(np.maximum(dist, 0.1))
+    rss = rss + rng.normal(0.0, 1.5, n_samples)
+    return p, q, rss
+
+
+def bench_estimator() -> Dict[str, object]:
+    est = EllipticalEstimator()
+    p, q, rss = _estimator_workload()
+    ref = est._fit_linearized_reference(p, q, rss, use_q=True)
+    vec = est._fit_linearized(p, q, rss, use_q=True)
+    assert np.isclose(ref.n, vec.n)
+    assert np.isclose(ref.gamma, vec.gamma, rtol=1e-9)
+    assert np.isclose(ref.position.x, vec.position.x, rtol=1e-9)
+    assert np.isclose(ref.position.y, vec.position.y, rtol=1e-9)
+    before = _best_of(lambda: est._fit_linearized_reference(p, q, rss, use_q=True))
+    after = _best_of(lambda: est._fit_linearized(p, q, rss, use_q=True))
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "target_speedup": TARGET_ESTIMATOR,
+        "meets_target": before / after >= TARGET_ESTIMATOR,
+        "note": f"{len(est.n_grid)}-point exponent grid, {len(p)} samples, "
+                "batched QR vs per-candidate lstsq loop",
+    }
+
+
+def bench_dtw() -> Dict[str, object]:
+    rng = np.random.default_rng(11)
+    a = np.cumsum(rng.normal(0.0, 1.0, 200))
+    b = np.cumsum(rng.normal(0.0, 1.0, 200))
+    w = 10
+    assert np.isclose(_dtw_distance_reference(a, b, window=w),
+                      dtw_distance(a, b, window=w), rtol=1e-9)
+    before = _best_of(lambda: _dtw_distance_reference(a, b, window=w))
+    after = _best_of(lambda: dtw_distance(a, b, window=w), number=20)
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "target_speedup": TARGET_DTW,
+        "meets_target": before / after >= TARGET_DTW,
+        "note": "two 200-sample sequences, window=10; vectorized band "
+                "update vs per-cell DP loop",
+    }
+
+
+def bench_parallel() -> Dict[str, object]:
+    sc = scenario(3)
+    seeds = range(20)
+    t0 = time.perf_counter()
+    serial = stationary_trials(sc, seeds, parallel="off", failure_value=99.0)
+    before = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pooled = stationary_trials(sc, seeds, parallel="force", max_workers=4,
+                               failure_value=99.0)
+    after = time.perf_counter() - t0
+    assert serial == pooled, "parallel sweep must be bit-identical to serial"
+    cpus = os.cpu_count() or 1
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "target_speedup": TARGET_PARALLEL,
+        "meets_target": before / after >= TARGET_PARALLEL,
+        "note": f"20-seed stationary sweep, 4 workers vs serial on "
+                f"{cpus} CPU(s); results verified bit-identical. On a "
+                "single-CPU host the pool only adds overhead — the target "
+                "presumes >= 4 cores.",
+    }
+
+
+def build_report() -> Dict[str, object]:
+    perf.reset()
+    benches = {
+        "estimator_grid_search": bench_estimator(),
+        "dtw_distance_banded": bench_dtw(),
+        "parallel_stationary_trials": bench_parallel(),
+    }
+    return {
+        "meta": {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "effective_cpus": os.cpu_count() or 1,
+            "numpy": np.__version__,
+        },
+        "benches": benches,
+        "perf_snapshot": perf.snapshot(),
+    }
+
+
+def write_report(report: Dict[str, object]) -> Path:
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return REPORT_PATH
+
+
+@pytest.mark.perf
+def test_perf_hotpaths():
+    report = build_report()
+    path = write_report(report)
+    benches = report["benches"]
+    # The vectorized kernels must actually be faster — by their target
+    # factors on the single-process paths (machine-independent).
+    assert benches["estimator_grid_search"]["meets_target"], benches
+    assert benches["dtw_distance_banded"]["meets_target"], benches
+    # The pool's speedup is bounded by physical cores; only assert the
+    # target where the hardware can express it.
+    if (os.cpu_count() or 1) >= 4:
+        assert benches["parallel_stationary_trials"]["meets_target"], benches
+    print(f"\nwrote {path}")
+
+
+def main() -> int:
+    report = build_report()
+    path = write_report(report)
+    for name, b in report["benches"].items():
+        print(f"{name}: {b['before_s'] * 1e3:.2f} ms -> "
+              f"{b['after_s'] * 1e3:.2f} ms  ({b['speedup']:.1f}x, "
+              f"target {b['target_speedup']:.0f}x, "
+              f"{'met' if b['meets_target'] else 'NOT met'})")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.estimator import EllipticalEstimator
 from repro.core.pipeline import LocBLE
+from repro.sim.parallel import run_trials
 from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
 from repro.types import Vec2
 from repro.world.scenarios import Scenario, scenario
@@ -62,29 +63,61 @@ def measure_once(
     return rec, pipeline
 
 
+@dataclass(frozen=True)
+class _StationaryErrorTrial:
+    """Picklable per-seed body of :func:`stationary_errors`."""
+
+    env_index: int
+    pipeline_factory: object
+    env_prior: Optional[str]
+    legs: Tuple[float, float]
+
+    def __call__(self, seed: int) -> float:
+        sc = scenario(self.env_index)
+        if self.pipeline_factory is not None:
+            pipeline = self.pipeline_factory()
+        elif self.env_prior is not None:
+            pipeline = LocBLE(
+                estimator=EllipticalEstimator().with_environment(self.env_prior)
+            )
+        else:
+            pipeline = LocBLE()
+        rec, pipeline = measure_once(
+            sc, seed, pipeline=pipeline, legs=self.legs)
+        est = pipeline.estimate(rec.rssi_traces["target"], rec.observer_imu.trace)
+        return est.error_to(rec.true_position_in_frame("target"))
+
+
 def stationary_errors(
     env_index: int,
     seeds: range,
     pipeline_factory=None,
     env_prior: Optional[str] = None,
     legs: Tuple[float, float] = DEFAULT_LEGS,
+    max_workers: Optional[int] = None,
+    parallel: str = "auto",
 ) -> List[float]:
-    """Estimation errors for the scenario's default stationary target."""
-    sc = scenario(env_index)
-    errs: List[float] = []
-    for seed in seeds:
-        if pipeline_factory is not None:
-            pipeline = pipeline_factory()
-        elif env_prior is not None:
-            pipeline = LocBLE(
-                estimator=EllipticalEstimator().with_environment(env_prior)
-            )
-        else:
-            pipeline = LocBLE()
-        rec, pipeline = measure_once(sc, seed, pipeline=pipeline, legs=legs)
-        est = pipeline.estimate(rec.rssi_traces["target"], rec.observer_imu.trace)
-        errs.append(est.error_to(rec.true_position_in_frame("target")))
-    return errs
+    """Estimation errors for the scenario's default stationary target.
+
+    Dispatched through :func:`repro.sim.parallel.run_trials` — each seed is
+    self-contained, so worker count changes wall-clock time, never the
+    errors. Benches expect every trial to succeed, so a failed trial raises.
+    """
+    trial = _StationaryErrorTrial(
+        env_index=env_index,
+        pipeline_factory=pipeline_factory,
+        env_prior=env_prior,
+        legs=(float(legs[0]), float(legs[1])),
+    )
+    results = run_trials(
+        trial, seeds, max_workers=max_workers, parallel=parallel)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)}/{len(results)} trials failed; first "
+            f"(seed {failed[0].seed}): {failed[0].error}"
+        )
+    return [float(r.value) for r in results]
 
 
 def dominant_env(sc: Scenario) -> str:

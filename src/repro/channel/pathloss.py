@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.types import EnvClass
 
@@ -64,10 +66,18 @@ class PathLossModel:
         return distance_for_rss(rss_dbm, self.gamma_dbm, self.n)
 
 
-def rss_at(distance_m: float, gamma_dbm: float, n: float) -> float:
-    """``Γ - 10 n log10(d)`` with the near-field clamp applied."""
-    d = max(distance_m, MIN_DISTANCE_M)
-    return gamma_dbm - 10.0 * n * math.log10(d)
+def rss_at(distance_m, gamma_dbm: float, n: float):
+    """``Γ - 10 n log10(d)`` with the near-field clamp applied.
+
+    Accepts a scalar distance (returns ``float``) or an array of distances
+    (returns an ``ndarray`` of the same shape) — the estimator evaluates the
+    model over whole residual vectors and exponent grids at once.
+    """
+    if np.ndim(distance_m) == 0:
+        d = max(float(distance_m), MIN_DISTANCE_M)
+        return gamma_dbm - 10.0 * n * math.log10(d)
+    d = np.maximum(np.asarray(distance_m, dtype=float), MIN_DISTANCE_M)
+    return gamma_dbm - 10.0 * n * np.log10(d)
 
 
 def distance_for_rss(rss_dbm: float, gamma_dbm: float, n: float) -> float:

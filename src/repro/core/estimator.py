@@ -32,7 +32,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import least_squares
 
-from repro.channel.pathloss import rss_at
+from repro import perf
+from repro.channel.pathloss import MIN_DISTANCE_M, rss_at
 from repro.errors import EstimationError, InsufficientDataError
 from repro.types import Vec2
 
@@ -139,6 +140,7 @@ class EllipticalEstimator:
             gamma_prior_sigma=self.ENV_GAMMA_SIGMAS[env_class],
         )
 
+    @perf.profiled("estimator.EllipticalEstimator.fit")
     def fit(
         self,
         p: Sequence[float],
@@ -231,12 +233,106 @@ class EllipticalEstimator:
         # no (Gamma, n) pair can produce; callers decide how to handle it.
         return x, h, g, eps
 
+    def _solve_grid(
+        self, p: np.ndarray, q: np.ndarray, rss: np.ndarray,
+        n_values: np.ndarray, use_q: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched Eq. 4 solve over a whole exponent grid at once.
+
+        Only the last design column (the ``eta^RS`` regressor) depends on the
+        candidate exponent, so the shared columns (``-2p``, ``-2q``, ``-1``)
+        and the right-hand side ``p² + q²`` are built once and the G
+        per-candidate least-squares problems are solved as one stacked QR
+        factorisation. Returns per-candidate arrays
+        ``(valid, x, h, g, eps)`` with ``h = nan`` when ``use_q`` is False;
+        candidates whose regressor degenerates (non-finite scale) come back
+        with ``valid = False``.
+        """
+        n_values = np.asarray(n_values, dtype=float)
+        n_cand = len(n_values)
+        x = np.full(n_cand, np.nan)
+        h = np.full(n_cand, np.nan)
+        g = np.full(n_cand, np.nan)
+        eps = np.full(n_cand, np.nan)
+
+        # Regressor matrix for every candidate exponent in one shot.
+        y = np.power(10.0, -rss[None, :] / (5.0 * n_values[:, None]))
+        with np.errstate(invalid="ignore"):
+            scale = np.mean(y, axis=1)
+        valid = np.isfinite(scale) & (scale > 0) & np.all(np.isfinite(y), axis=1)
+        if not np.any(valid):
+            return valid, x, h, g, eps
+        ys = y[valid] / scale[valid, None]
+
+        rhs = p * p + q * q
+        if use_q:
+            shared = np.column_stack([-2.0 * p, -2.0 * q, -np.ones_like(p)])
+        else:
+            shared = np.column_stack([-2.0 * p, -np.ones_like(p)])
+        n_params = shared.shape[1] + 1
+        designs = np.empty((ys.shape[0], len(p), n_params))
+        designs[:, :, :-1] = shared[None, :, :]
+        designs[:, :, -1] = ys
+
+        try:
+            # Stacked thin-QR least squares: numerically the lstsq solution
+            # for the full-rank case, G solves in one LAPACK batch.
+            q_fact, r_fact = np.linalg.qr(designs)
+            qtb = q_fact.transpose(0, 2, 1) @ rhs[None, :, None]
+            theta = np.linalg.solve(r_fact, qtb)[:, :, 0]
+        except np.linalg.LinAlgError:
+            # A candidate's design went rank-deficient — fall back to the
+            # per-candidate SVD solver, which handles it via min-norm.
+            for idx in np.flatnonzero(valid):
+                sol = self._solve_for_n(p, q, rss, float(n_values[idx]),
+                                        use_q=use_q)
+                if sol is None:
+                    valid[idx] = False
+                    continue
+                x[idx], h[idx], g[idx], eps[idx] = sol
+            return valid, x, h, g, eps
+
+        # Unpivoted QR has no rank protection: a (near-)collinear design —
+        # e.g. a perfectly straight walk making p and q proportional — gives
+        # a tiny R diagonal and a garbage solve instead of an error. Divert
+        # those candidates to the SVD solver, whose min-norm behaviour is
+        # the reference semantics.
+        r_diag = np.abs(np.diagonal(r_fact, axis1=1, axis2=2))
+        ill = (r_diag.min(axis=1) <= r_diag.max(axis=1) * 1e-7) | ~np.all(
+            np.isfinite(theta), axis=1)
+
+        vidx = np.flatnonzero(valid)
+        x[vidx] = theta[:, 0]
+        if use_q:
+            h[vidx] = theta[:, 1]
+            g[vidx] = theta[:, 2]
+        else:
+            g[vidx] = theta[:, 1]
+        eps[vidx] = theta[:, -1] / scale[valid]
+        for idx in vidx[ill]:
+            sol = self._solve_for_n(p, q, rss, float(n_values[idx]),
+                                    use_q=use_q)
+            if sol is None:
+                valid[idx] = False
+                x[idx] = h[idx] = g[idx] = eps[idx] = np.nan
+            else:
+                x[idx], h[idx], g[idx], eps[idx] = sol
+        return valid, x, h, g, eps
+
     def _rss_residuals(
         self, p: np.ndarray, q: np.ndarray, rss: np.ndarray,
         x: float, h: float, n: float, gamma: float,
     ) -> np.ndarray:
         l = np.hypot(x + p, h + q)
-        predicted = np.array([rss_at(d, gamma, n) for d in l])
+        return rss - rss_at(l, gamma, n)
+
+    def _rss_residuals_reference(
+        self, p: np.ndarray, q: np.ndarray, rss: np.ndarray,
+        x: float, h: float, n: float, gamma: float,
+    ) -> np.ndarray:
+        """Pre-vectorization residuals (per-element loop); bench baseline."""
+        l = np.hypot(x + p, h + q)
+        predicted = np.array([rss_at(float(d), gamma, n) for d in l])
         return rss - predicted
 
     def _refine(
@@ -326,11 +422,12 @@ class EllipticalEstimator:
         sits in the right basin.
         """
         seeds: List[Tuple[float, float, float, float]] = []
-        for n in np.asarray(self.n_grid)[:: max(1, len(self.n_grid) // 8)]:
-            sol = self._solve_for_n(p, q, rss, float(n), use_q=use_q)
-            if sol is None:
-                continue
-            x, h, g, eps = sol
+        n_subset = np.asarray(self.n_grid, dtype=float)[
+            :: max(1, len(self.n_grid) // 8)
+        ]
+        valid, xs, hs, gs, epss = self._solve_grid(p, q, rss, n_subset, use_q)
+        for k in np.flatnonzero(valid):
+            x, h, g, eps, n = xs[k], hs[k], gs[k], epss[k], n_subset[k]
             if eps <= 0:
                 continue
             if not use_q or not math.isfinite(h):
@@ -338,7 +435,7 @@ class EllipticalEstimator:
                 h = math.sqrt(h_sq)
             gamma = 5.0 * n * math.log10(eps)
             if math.isfinite(gamma):
-                seeds.append((x, h, gamma, float(n)))
+                seeds.append((float(x), float(h), gamma, float(n)))
         # Heuristic seeds: invert the median RSS at the *prior* parameters
         # (falling back to nominal BLE values) and spread candidate bearings
         # around the walk — the nonlinear objective is multi-modal under
@@ -359,7 +456,71 @@ class EllipticalEstimator:
     def _fit_linearized(
         self, p: np.ndarray, q: np.ndarray, rss: np.ndarray, use_q: bool
     ) -> FitResult:
-        """The paper's pure Eq. 4/5 solver: LS per exponent, grid arg-min."""
+        """The paper's pure Eq. 4/5 solver: LS per exponent, grid arg-min.
+
+        Fully vectorized: one stacked solve for every candidate exponent
+        (:meth:`_solve_grid`), then one pass of array ops for the RSS-domain
+        residual of each candidate and the Eq. 5 arg-min. Numerically
+        equivalent to :meth:`_fit_linearized_reference` (the original
+        per-candidate loop, kept for tests and benchmarks).
+        """
+        n_values = np.asarray(self.n_grid, dtype=float)
+        valid, x, h, g, eps = self._solve_grid(p, q, rss, n_values, use_q)
+        if not np.any(valid):
+            raise EstimationError("no path-loss exponent yielded a valid solve")
+
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            # Recover the lateral offset where the solve left it implicit.
+            need_h = ~np.isfinite(h) if use_q else np.ones_like(valid)
+            h = np.where(need_h, np.sqrt(np.maximum(g - x * x, 0.0)), h)
+
+            # Per-candidate distances to every sample: (G, N).
+            l = np.maximum(np.hypot(x[:, None] + p[None, :],
+                                    h[:, None] + q[None, :]), MIN_DISTANCE_M)
+            log_l = np.log10(l)
+
+            # Γ from epsilon where physical, else the post-hoc level matching
+            # the candidate's geometry (exactly the reference's two branches).
+            gamma = np.full(len(n_values), np.nan)
+            pos = valid & (eps > 0)
+            if np.any(pos):
+                gamma[pos] = 5.0 * n_values[pos] * np.log10(eps[pos])
+            fallback = valid & ~pos
+            if np.any(fallback):
+                gamma[fallback] = np.mean(
+                    rss[None, :]
+                    + 10.0 * n_values[fallback, None] * log_l[fallback],
+                    axis=1,
+                )
+
+            resid = rss[None, :] - (
+                gamma[:, None] - 10.0 * n_values[:, None] * log_l
+            )
+            cost = np.sum(resid * resid, axis=1)
+        cost = np.where(valid & np.isfinite(cost), cost, np.inf)
+        best_idx = int(np.argmin(cost))
+        if not np.isfinite(cost[best_idx]):
+            raise EstimationError("no path-loss exponent yielded a valid solve")
+        xb, hb = float(x[best_idx]), float(h[best_idx])
+        return FitResult(
+            position=Vec2(xb, hb),
+            n=float(n_values[best_idx]),
+            gamma=float(gamma[best_idx]),
+            epsilon=float(eps[best_idx]),
+            residuals=resid[best_idx],
+            mirror=None if use_q else Vec2(xb, -hb),
+            g=float(g[best_idx]),
+        )
+
+    def _fit_linearized_reference(
+        self, p: np.ndarray, q: np.ndarray, rss: np.ndarray, use_q: bool
+    ) -> FitResult:
+        """Reference per-candidate loop over the grid (pre-vectorization).
+
+        Kept verbatim as the numerical ground truth: tests assert the
+        vectorized :meth:`_fit_linearized` matches it, and the hot-path
+        benchmark measures the speedup against it.
+        """
         best: Optional[FitResult] = None
         best_cost = math.inf
         for n in self.n_grid:
@@ -376,7 +537,7 @@ class EllipticalEstimator:
                 # post-hoc as the level matching the geometry at this n.
                 l = np.maximum(np.hypot(x + p, h + q), 0.1)
                 gamma = float(np.mean(rss + 10.0 * float(n) * np.log10(l)))
-            resid = self._rss_residuals(p, q, rss, x, h, float(n), gamma)
+            resid = self._rss_residuals_reference(p, q, rss, x, h, float(n), gamma)
             cost = float(np.sum(resid**2))
             if cost < best_cost:
                 best_cost = cost

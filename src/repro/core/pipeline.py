@@ -15,11 +15,13 @@ and the environment-informed exponent prior.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.core.anf import AdaptiveNoiseFilter
 from repro.core.confidence import estimation_confidence
 from repro.core.envaware import EnvAwareClassifier, EnvironmentMonitor
@@ -31,13 +33,18 @@ from repro.errors import (
 )
 from repro.imu.sensors import SynthesizedImu
 from repro.motion.deadreckoning import MotionTracker
-from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace, Vec2
+from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace
 
 __all__ = ["LocBLE", "EstimationContext"]
 
 #: Roughly one batch per the paper's "2–3 seconds ... approximately 20 RSS
 #: samples per data batch" at 8–9 Hz sampling.
 DEFAULT_BATCH_S = 2.0
+
+#: Matched rows younger than this are not cached across series batches —
+#: dead reckoning still refines the last moments of the walk, and a row
+#: that will change tomorrow only forces a full cache rebuild.
+_PQ_SETTLE_GUARD_S = 3.0
 
 
 @dataclass
@@ -51,6 +58,26 @@ class EstimationContext:
     env_class: str
     env_changes: List[float] = field(default_factory=list)
     fit: Optional[FitResult] = None
+
+
+@dataclass
+class _PqCache:
+    """Matched p/q rows carried across :meth:`LocBLE.estimate_series` steps.
+
+    Dead reckoning is append-mostly: feeding more IMU data extends the track
+    but normally leaves earlier positions untouched, so displacement rows
+    matched in previous batches can be reused and only the new RSS samples
+    matched. The checkpoint guards the "normally": before reusing, the
+    displacement at the last cached timestamp is recomputed on the current
+    track and compared bitwise — displacements are cumulative, so any
+    retroactive change to the walk perturbs the checkpoint and forces a full
+    rebuild.
+    """
+
+    n: int = 0
+    p: np.ndarray = field(default_factory=lambda: np.empty(0))
+    q: np.ndarray = field(default_factory=lambda: np.empty(0))
+    t_last: float = -math.inf
 
 
 @dataclass
@@ -73,6 +100,7 @@ class LocBLE:
 
     # -- public API ---------------------------------------------------------
 
+    @perf.profiled("pipeline.LocBLE.estimate")
     def estimate(
         self,
         rssi_trace: RssiTrace,
@@ -109,6 +137,7 @@ class LocBLE:
                 continue
         return out
 
+    @perf.profiled("pipeline.LocBLE.estimate_series")
     def estimate_series(
         self,
         rssi_trace: RssiTrace,
@@ -120,15 +149,25 @@ class LocBLE:
         Powers the navigation experiments (Fig. 12b): the estimate sharpens
         as the observer approaches and more data accumulates. Times where
         too little data exists are skipped.
+
+        Work is shared across the series: displacement/RSS rows matched in
+        earlier batches are reused (appended to, not rebuilt) whenever the
+        dead-reckoned track did not change retroactively — each step then
+        costs only the new samples' matching plus the (vectorized) filter
+        and regression. Results are identical to calling :meth:`estimate`
+        on each prefix.
         """
         out: List[Tuple[float, LocationEstimate]] = []
+        imu_ts = [s.timestamp for s in observer_imu.samples]
+        cache = _PqCache()
         for t in times:
             partial = rssi_trace.slice_time(-math.inf, t)
             imu_partial = ImuTrace(
-                [s for s in observer_imu.samples if s.timestamp <= t]
+                observer_imu.samples[:bisect_right(imu_ts, t)]
             )
             try:
-                ctx = self._build_context(partial, imu_partial, None)
+                ctx = self._build_context(
+                    partial, imu_partial, None, _pq_cache=cache)
                 out.append((t, self._estimate_from_context(ctx)))
             except InsufficientDataError:
                 continue
@@ -141,6 +180,7 @@ class LocBLE:
         rssi_trace: RssiTrace,
         observer_imu: ImuTrace,
         target_imu: Optional[ImuTrace],
+        _pq_cache: Optional[_PqCache] = None,
     ) -> EstimationContext:
         if len(rssi_trace) < self.estimator.min_samples:
             raise InsufficientDataError(
@@ -169,19 +209,13 @@ class LocBLE:
             target_track = self.motion_tracker.track(target_imu)
             frame_rotation = self._frame_rotation(observer_imu, target_imu)
 
-        # Step 2 — match movement to RSS data by timestamp.
+        # Step 2 — match movement to RSS data by timestamp (vectorized; the
+        # series cache lets navigation-style re-estimation reuse the rows
+        # matched in earlier batches).
         ts = rssi_trace.timestamps()
         raw_rss = rssi_trace.values()
-        p = np.empty(len(ts))
-        q = np.empty(len(ts))
-        for i, t in enumerate(ts):
-            a = observer_track.displacement_at(t)
-            if target_track is None:
-                b = Vec2(0.0, 0.0)
-            else:
-                b = target_track.displacement_at(t).rotated(frame_rotation)
-            p[i] = b.x - a.x
-            q[i] = b.y - a.y
+        p, q = self._matched_pq(
+            ts, observer_track, target_track, frame_rotation, _pq_cache)
 
         # Step 3a — environment classification over batches.
         env_class = EnvClass.LOS
@@ -216,6 +250,56 @@ class LocBLE:
             env_class=env_class,
             env_changes=changes,
         )
+
+    @staticmethod
+    def _matched_pq(
+        ts: np.ndarray,
+        observer_track,
+        target_track,
+        frame_rotation: float,
+        cache: Optional[_PqCache],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Relative beacon displacement (p, q) at each RSS timestamp."""
+
+        def compute(ts_part: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            a = observer_track.displacements_at(ts_part)
+            if target_track is None:
+                return -a[:, 0], -a[:, 1]
+            b = target_track.displacements_at(ts_part)
+            c, s = math.cos(frame_rotation), math.sin(frame_rotation)
+            bx = c * b[:, 0] - s * b[:, 1]
+            by = s * b[:, 0] + c * b[:, 1]
+            return bx - a[:, 0], by - a[:, 1]
+
+        if cache is None:
+            return compute(ts)
+
+        n = len(ts)
+        reuse = 0 < cache.n <= n and float(ts[cache.n - 1]) == cache.t_last
+        if reuse:
+            # Checkpoint: the cached rows are only valid if the track still
+            # passes through the same point at the last cached timestamp.
+            chk_p, chk_q = compute(ts[cache.n - 1:cache.n])
+            reuse = (chk_p[0] == cache.p[cache.n - 1]
+                     and chk_q[0] == cache.q[cache.n - 1])
+        if reuse:
+            perf.count("pipeline.pq_cache_reuses")
+            new_p, new_q = compute(ts[cache.n:])
+            p = np.concatenate([cache.p[:cache.n], new_p])
+            q = np.concatenate([cache.q[:cache.n], new_q])
+        else:
+            perf.count("pipeline.pq_cache_rebuilds")
+            p, q = compute(ts)
+        # Cache only rows older than the settle guard: step/turn detection
+        # keeps refining the last couple of seconds of the walk as IMU data
+        # arrives, so rows near the prefix end would fail the checkpoint on
+        # the next batch and force a full rebuild every time.
+        n_keep = int(np.searchsorted(
+            ts, float(ts[-1]) - _PQ_SETTLE_GUARD_S, side="right")) if n else 0
+        cache.n = n_keep
+        cache.p, cache.q = p, q
+        cache.t_last = float(ts[n_keep - 1]) if n_keep else -math.inf
+        return p, q
 
     def _estimate_from_context(self, ctx: EstimationContext) -> LocationEstimate:
         estimator = self.estimator

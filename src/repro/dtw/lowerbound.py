@@ -11,7 +11,7 @@ claimed ~100x speedup per test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.ndimage import maximum_filter1d, minimum_filter1d
@@ -41,6 +41,7 @@ def envelope(target: Sequence[float], window: int) -> Tuple[np.ndarray, np.ndarr
 def lb_keogh(
     candidate: Sequence[float], target: Sequence[float], window: int,
     squared: bool = True,
+    env: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> float:
     """LB_Keogh bound of DTW(candidate, target) under a warping window.
 
@@ -48,6 +49,11 @@ def lb_keogh(
     sum of out-of-envelope excursions; with ``squared=False`` it is the L1
     analogue, which lower-bounds the absolute-difference DTW cost used by
     :func:`repro.dtw.dtw.dtw_distance`.
+
+    ``env`` optionally supplies a precomputed ``(upper, lower)`` envelope of
+    ``target`` at this ``window`` — the envelope depends only on the target,
+    so callers testing many candidates against one target (the clustering
+    layer) compute it once instead of once per candidate pair.
     """
     candidate = np.asarray(candidate, dtype=float)
     target = np.asarray(target, dtype=float)
@@ -55,7 +61,7 @@ def lb_keogh(
         raise ConfigurationError(
             "LB_Keogh requires equal-length sequences; interpolate first"
         )
-    upper, lower = envelope(target, window)
+    upper, lower = envelope(target, window) if env is None else env
     over = np.maximum(candidate - upper, 0.0)
     under = np.maximum(lower - candidate, 0.0)
     excursion = over + under

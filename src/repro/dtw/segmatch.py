@@ -17,16 +17,21 @@ paper's recipe, implemented step by step:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.dtw.dtw import dtw_distance
-from repro.dtw.lowerbound import lb_keogh
+from repro.dtw.lowerbound import envelope, lb_keogh
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.filters.smoothing import differentiate, moving_average
 from repro.types import RssiTrace
+
+#: Per-matcher LRU capacity for cached target-segment envelopes.
+_ENVELOPE_CACHE_MAX = 256
 
 __all__ = ["MatchResult", "SegmentMatcher"]
 
@@ -65,6 +70,13 @@ class SegmentMatcher:
     window: int = 3
     smooth_window: int = 21
     use_lower_bound: bool = True
+    #: (segment bytes, window) → (upper, lower) LRU. One target is matched
+    #: against many candidates (Sec. 6.1 clusters every audible beacon), so
+    #: each target segment's envelope is computed once per window instead of
+    #: once per candidate pair.
+    _envelope_cache: "OrderedDict" = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.segment_len < 4:
@@ -100,13 +112,32 @@ class SegmentMatcher:
             segments.append((ts[sl], vals[sl]))
         return segments
 
-    def match(self, target: RssiTrace, candidate: RssiTrace) -> MatchResult:
-        """Vote on whether ``candidate`` follows the target's RSS trend."""
-        t_ts, t_vals = self.preprocess(target)
-        c_ts, c_vals = self.preprocess(candidate)
-        if len(c_ts) < 2:
-            raise InsufficientDataError("candidate too short to interpolate")
+    def _segment_envelope(
+        self, seg_vals: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """LRU-cached LB_Keogh envelope of one target segment."""
+        key = (seg_vals.tobytes(), self.window)
+        cached = self._envelope_cache.get(key)
+        if cached is not None:
+            self._envelope_cache.move_to_end(key)
+            perf.count("segmatch.envelope_cache_hits")
+            return cached
+        env = envelope(seg_vals, self.window)
+        self._envelope_cache[key] = env
+        while len(self._envelope_cache) > _ENVELOPE_CACHE_MAX:
+            self._envelope_cache.popitem(last=False)
+        return env
 
+    def _prepare_target(
+        self, target: RssiTrace
+    ) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], float]:
+        """Preprocess + segment the target once; reused across candidates.
+
+        Returns ``(segments, scale)`` where each segment is its timestamp
+        grid and normalised values — the candidate-independent half of the
+        matching work.
+        """
+        t_ts, t_vals = self.preprocess(target)
         # Normalise both differenced sequences by the target's trend scale,
         # making the similarity threshold scale-free: it then measures
         # "multiples of the target's own variation" instead of raw dB/sample
@@ -114,10 +145,20 @@ class SegmentMatcher:
         scale = float(np.sqrt(np.mean(t_vals**2)))
         if scale < 1e-9:
             raise InsufficientDataError("target trend is flat; nothing to match")
-        t_vals = t_vals / scale
+        segments = self._target_segments(t_ts, t_vals / scale)
+        return segments, scale
+
+    def _match_prepared(
+        self,
+        segments: List[Tuple[np.ndarray, np.ndarray]],
+        scale: float,
+        candidate: RssiTrace,
+    ) -> MatchResult:
+        c_ts, c_vals = self.preprocess(candidate)
+        if len(c_ts) < 2:
+            raise InsufficientDataError("candidate too short to interpolate")
         c_vals = c_vals / scale
 
-        segments = self._target_segments(t_ts, t_vals)
         n_matched = 0
         n_lb_rejections = 0
         n_dtw_runs = 0
@@ -126,7 +167,9 @@ class SegmentMatcher:
             # interpolate it onto the segment's grid (device rates differ).
             cand = np.interp(seg_ts, c_ts, c_vals)
             if self.use_lower_bound:
-                bound = lb_keogh(cand, seg_vals, self.window, squared=True)
+                env = self._segment_envelope(seg_vals)
+                bound = lb_keogh(cand, seg_vals, self.window, squared=True,
+                                 env=env)
                 if bound > self.threshold:
                     n_lb_rejections += 1
                     continue
@@ -142,8 +185,20 @@ class SegmentMatcher:
             n_dtw_runs=n_dtw_runs,
         )
 
+    @perf.profiled("segmatch.SegmentMatcher.match")
+    def match(self, target: RssiTrace, candidate: RssiTrace) -> MatchResult:
+        """Vote on whether ``candidate`` follows the target's RSS trend."""
+        segments, scale = self._prepare_target(target)
+        return self._match_prepared(segments, scale, candidate)
+
+    @perf.profiled("segmatch.SegmentMatcher.match_many")
     def match_many(
         self, target: RssiTrace, candidates: List[RssiTrace]
     ) -> List[MatchResult]:
-        """Match every candidate; order preserved."""
-        return [self.match(target, c) for c in candidates]
+        """Match every candidate; order preserved.
+
+        The target is preprocessed and segmented once for the whole batch —
+        only the candidate-dependent half of the work runs per candidate.
+        """
+        segments, scale = self._prepare_target(target)
+        return [self._match_prepared(segments, scale, c) for c in candidates]

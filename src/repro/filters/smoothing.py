@@ -28,14 +28,12 @@ def moving_average(x: Sequence[float], window: int) -> np.ndarray:
     if window == 1 or x.size == 0:
         return x.copy()
     half = window // 2
-    out = np.empty_like(x)
     csum = np.concatenate([[0.0], np.cumsum(x)])
     n = len(x)
-    for i in range(n):
-        lo = max(0, i - half)
-        hi = min(n, i + half + 1)
-        out[i] = (csum[hi] - csum[lo]) / (hi - lo)
-    return out
+    idx = np.arange(n)
+    lo = np.maximum(idx - half, 0)
+    hi = np.minimum(idx + half + 1, n)
+    return (csum[hi] - csum[lo]) / (hi - lo)
 
 
 def moving_median(x: Sequence[float], window: int) -> np.ndarray:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -54,6 +54,24 @@ class MotionTrack:
         frac = (t - t0) / (t1 - t0)
         a, b = self.positions[i], self.positions[i + 1]
         return a + (b - a) * frac
+
+    def displacements_at(self, ts: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`displacement_at`: an ``(n, 2)`` array.
+
+        ``np.interp`` clamps at both ends exactly like the scalar method —
+        the first position is the origin and queries past the last step hold
+        the end position.
+        """
+        ts = np.asarray(ts, dtype=float)
+        out = np.zeros((ts.size, 2))
+        if not self.times or ts.size == 0:
+            return out
+        t = np.asarray(self.times, dtype=float)
+        xs = np.array([pos.x for pos in self.positions], dtype=float)
+        ys = np.array([pos.y for pos in self.positions], dtype=float)
+        out[:, 0] = np.interp(ts, t, xs)
+        out[:, 1] = np.interp(ts, t, ys)
+        return out
 
     def total_distance(self) -> float:
         return sum(

@@ -1,0 +1,121 @@
+"""Pretty-printer for ``BENCH_perf.json`` (the hot-path benchmark output).
+
+``benchmarks/bench_perf_hotpaths.py`` times the vectorized hot paths against
+their reference implementations and writes the results to ``BENCH_perf.json``
+at the repo root. This module renders that file for humans::
+
+    python -m repro.perf.report [path/to/BENCH_perf.json]
+
+With no argument it looks for ``BENCH_perf.json`` in the current directory
+and then walks up towards the filesystem root, so it works from anywhere
+inside the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["find_report", "load_report", "format_report", "main"]
+
+REPORT_FILENAME = "BENCH_perf.json"
+
+
+def find_report(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ``BENCH_perf.json`` at or above ``start`` (default: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    for directory in [here, *here.parents]:
+        candidate = directory / REPORT_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_report(path: Path) -> Dict[str, Any]:
+    """Parse one benchmark report file."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f} ms"
+    return f"{s * 1e6:.1f} us"
+
+
+def format_report(data: Dict[str, Any]) -> str:
+    """Render a report dict as an aligned text table."""
+    lines: List[str] = []
+    header = data.get("meta", {})
+    lines.append("=== repro hot-path performance report ===")
+    for key in ("generated_at", "effective_cpus", "numpy"):
+        if key in header:
+            lines.append(f"  {key}: {header[key]}")
+
+    benches = data.get("benches", {})
+    if benches:
+        name_w = max(len(n) for n in benches) + 2
+        lines.append("")
+        lines.append(
+            f"  {'bench'.ljust(name_w)}{'before':>12}{'after':>12}"
+            f"{'speedup':>10}{'target':>9}  met"
+        )
+        for name, row in benches.items():
+            speedup = row.get("speedup", float("nan"))
+            target = row.get("target_speedup")
+            met = row.get("meets_target")
+            lines.append(
+                f"  {name.ljust(name_w)}"
+                f"{_fmt_seconds(row['before_s']):>12}"
+                f"{_fmt_seconds(row['after_s']):>12}"
+                f"{speedup:>9.2f}x"
+                + (f"{target:>8.1f}x" if target is not None else f"{'-':>9}")
+                + ("  yes" if met else ("  NO" if met is not None else ""))
+            )
+            if row.get("note"):
+                lines.append(f"  {' ' * name_w}note: {row['note']}")
+
+    timers = data.get("perf_snapshot", {}).get("timers", {})
+    if timers:
+        lines.append("")
+        lines.append("  -- perf timers captured during the bench --")
+        name_w = max(len(n) for n in timers) + 2
+        lines.append(
+            f"  {'timer'.ljust(name_w)}{'calls':>8}{'total':>12}{'mean':>12}"
+        )
+        for name, t in timers.items():
+            lines.append(
+                f"  {name.ljust(name_w)}{t['count']:>8}"
+                f"{_fmt_seconds(t['total_s']):>12}"
+                f"{_fmt_seconds(t['mean_s']):>12}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args:
+        path = Path(args[0])
+        if not path.is_file():
+            print(f"error: no report at {path}", file=sys.stderr)
+            return 2
+    else:
+        found = find_report()
+        if found is None:
+            print(
+                f"error: no {REPORT_FILENAME} found here or above; run "
+                "'python benchmarks/bench_perf_hotpaths.py' first",
+                file=sys.stderr,
+            )
+            return 2
+        path = found
+    print(format_report(load_report(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

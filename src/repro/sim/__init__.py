@@ -2,6 +2,7 @@
 
 from repro.sim.datasets import EnvDatasetBuilder, LabeledWindow, windows_from_trace
 from repro.sim.montecarlo import TrialSummary, empirical_cdf, stationary_trials, summarize
+from repro.sim.parallel import TrialResult, effective_workers, run_trials
 from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
 from repro.sim.simulator3d import Measurement3D, Simulator3D, ramp_profile
 from repro.sim.traces import (
@@ -17,7 +18,8 @@ __all__ = [
     "EnvDatasetBuilder", "LabeledWindow", "windows_from_trace", "BeaconSpec",
     "MeasurementRecord", "Simulator", "Measurement3D", "Simulator3D",
     "ramp_profile", "TrialSummary", "empirical_cdf", "stationary_trials",
-    "summarize", "imu_trace_from_dict",
+    "summarize", "TrialResult", "effective_workers", "run_trials",
+    "imu_trace_from_dict",
     "imu_trace_to_dict", "load_session", "rssi_trace_from_dict",
     "rssi_trace_to_dict", "save_session",
 ]

@@ -21,11 +21,55 @@ import numpy as np
 from repro.core.estimator import EllipticalEstimator
 from repro.core.pipeline import LocBLE
 from repro.errors import ConfigurationError, ReproError
+from repro.sim.parallel import run_trials
 from repro.sim.simulator import BeaconSpec, Simulator
 from repro.world.scenarios import Scenario
 from repro.world.trajectory import l_shape
 
 __all__ = ["TrialSummary", "stationary_trials", "summarize", "empirical_cdf"]
+
+#: Sentinel distinguishing "the pipeline refused to estimate" (a ReproError,
+#: handled by ``failure_value``) from a crashed trial inside worker results.
+_REFUSED = "__refused__"
+
+
+@dataclass(frozen=True)
+class _StationaryTrial:
+    """Picklable per-seed trial body for :func:`stationary_trials`.
+
+    A frozen dataclass (not a closure) so the process pool can ship it to
+    workers; all randomness is derived from the seed inside ``__call__``,
+    which is what makes the sweep deterministic under any worker count.
+    """
+
+    scenario: Scenario
+    pipeline_factory: Optional[Callable[[], LocBLE]]
+    use_env_prior: bool
+    env: str
+    legs: Tuple[float, float]
+
+    def __call__(self, seed: int):
+        rng = np.random.default_rng(seed)
+        sim = Simulator(self.scenario.floorplan, rng)
+        walk = l_shape(
+            self.scenario.observer_start, self.scenario.observer_heading_rad,
+            leg1=self.legs[0], leg2=self.legs[1],
+        )
+        rec = sim.simulate(walk, [
+            BeaconSpec("target", position=self.scenario.beacon_position)])
+        if self.pipeline_factory is not None:
+            pipeline = self.pipeline_factory()
+        elif self.use_env_prior:
+            pipeline = LocBLE(
+                estimator=EllipticalEstimator().with_environment(self.env))
+        else:
+            pipeline = LocBLE()
+        try:
+            est = pipeline.estimate(rec.rssi_traces["target"],
+                                    rec.observer_imu.trace)
+            return est.error_to(rec.true_position_in_frame("target"))
+        except ReproError:
+            return _REFUSED
 
 
 @dataclass(frozen=True)
@@ -54,6 +98,8 @@ def stationary_trials(
     use_env_prior: bool = True,
     legs: Tuple[float, float] = (2.8, 2.2),
     failure_value: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    parallel: str = "auto",
 ) -> List[float]:
     """Run seeded stationary-target measurements; return per-trial errors.
 
@@ -61,31 +107,32 @@ def stationary_trials(
     (None drops them). With ``use_env_prior`` the estimator is configured
     with the scenario's true dominant environment class — what EnvAware
     would supply at runtime.
+
+    Trials are dispatched through :func:`repro.sim.parallel.run_trials`:
+    each seed is self-contained, so ``max_workers`` / ``parallel`` change
+    wall-clock time but never the returned errors. A closure
+    ``pipeline_factory`` simply falls back to the serial path (closures
+    don't pickle). Trials that crash (non-``ReproError``) are treated like
+    refusals: replaced by ``failure_value`` or dropped.
     """
-    errors: List[float] = []
     env = scenario.floorplan.classify_link(
         scenario.beacon_position, scenario.observer_start).env_class
-    for seed in seeds:
-        rng = np.random.default_rng(seed)
-        sim = Simulator(scenario.floorplan, rng)
-        walk = l_shape(scenario.observer_start, scenario.observer_heading_rad,
-                       leg1=legs[0], leg2=legs[1])
-        rec = sim.simulate(walk, [
-            BeaconSpec("target", position=scenario.beacon_position)])
-        if pipeline_factory is not None:
-            pipeline = pipeline_factory()
-        elif use_env_prior:
-            pipeline = LocBLE(
-                estimator=EllipticalEstimator().with_environment(env))
-        else:
-            pipeline = LocBLE()
-        try:
-            est = pipeline.estimate(rec.rssi_traces["target"],
-                                    rec.observer_imu.trace)
-            errors.append(est.error_to(rec.true_position_in_frame("target")))
-        except ReproError:
-            if failure_value is not None:
-                errors.append(failure_value)
+    trial = _StationaryTrial(
+        scenario=scenario,
+        pipeline_factory=pipeline_factory,
+        use_env_prior=use_env_prior,
+        env=env,
+        legs=(float(legs[0]), float(legs[1])),
+    )
+    results = run_trials(
+        trial, seeds, max_workers=max_workers, parallel=parallel)
+    errors: List[float] = []
+    for r in results:
+        # Equality, not identity: the sentinel round-trips through pickle.
+        if r.ok and r.value != _REFUSED:
+            errors.append(float(r.value))
+        elif failure_value is not None:
+            errors.append(failure_value)
     return errors
 
 

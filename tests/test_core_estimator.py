@@ -195,3 +195,49 @@ class TestTwoLegDisambiguation:
         # Must land on the correct (positive-y) side.
         assert result.position.y > 0
         assert result.position.distance_to(Vec2(4, 3)) < 2.5
+
+
+class TestVectorizedGridSearch:
+    """The batched grid solver must reproduce the per-candidate loop."""
+
+    def _workload(self, seed, n_samples=35, use_q=True):
+        rng = np.random.default_rng(seed)
+        true = Vec2(rng.uniform(1.0, 4.0), rng.uniform(0.5, 3.0))
+        ox = np.linspace(0, 2.8, n_samples)
+        oy = (np.linspace(0, 2.2, n_samples) if use_q
+              else np.zeros(n_samples))
+        p, q = -ox, -oy
+        dist = np.hypot(ox - true.x, oy - true.y)
+        rss = np.array([rss_at(d, -58.0, 2.3) for d in dist])
+        return p, q, rss + rng.normal(0, 1.2, n_samples)
+
+    @pytest.mark.parametrize("use_q", [True, False])
+    def test_matches_reference(self, use_q):
+        est = EllipticalEstimator()
+        for seed in range(15):
+            p, q, rss = self._workload(seed, use_q=use_q)
+            ref = est._fit_linearized_reference(p, q, rss, use_q=use_q)
+            vec = est._fit_linearized(p, q, rss, use_q=use_q)
+            assert vec.n == ref.n
+            assert vec.gamma == pytest.approx(ref.gamma, rel=1e-9)
+            assert vec.epsilon == pytest.approx(ref.epsilon, rel=1e-9)
+            assert vec.position.x == pytest.approx(ref.position.x, rel=1e-9)
+            assert vec.position.y == pytest.approx(ref.position.y, rel=1e-9)
+            np.testing.assert_allclose(vec.residuals, ref.residuals,
+                                       rtol=1e-8, atol=1e-10)
+
+    def test_public_fit_unchanged(self):
+        est = EllipticalEstimator()
+        p, q, rss = self._workload(42)
+        fit = est.fit(p, q, rss)
+        assert math.isfinite(fit.position.x) and math.isfinite(fit.gamma)
+
+    def test_vectorized_residuals_match_reference(self):
+        est = EllipticalEstimator()
+        rng = np.random.default_rng(0)
+        p, q = rng.normal(size=20), rng.normal(size=20)
+        rss = rng.normal(-65, 4, size=20)
+        fast = est._rss_residuals(p, q, rss, x=1.0, h=0.5, gamma=-59.0, n=2.1)
+        slow = est._rss_residuals_reference(
+            p, q, rss, x=1.0, h=0.5, gamma=-59.0, n=2.1)
+        np.testing.assert_allclose(fast, slow, rtol=1e-12)

@@ -192,3 +192,45 @@ class TestLocBLEMovingTarget:
         )
         assert 1 <= len(series) <= 6
         assert all(t1 >= t0 for (t0, _), (t1, _) in zip(series, series[1:]))
+
+
+class TestSeriesIncrementalCache:
+    def test_series_matches_per_prefix_estimate(self):
+        """The cached series path must equal estimating each prefix afresh."""
+        for seed in (2, 7):
+            rec = _session(seed=seed)
+            trace = rec.rssi_traces["b"]
+            imu = rec.observer_imu.trace
+            ts = trace.timestamps()
+            times = list(np.arange(float(ts[0]) + 2.0, float(ts[-1]) + 2.0,
+                                   2.0))
+            pipe = LocBLE()
+            series = pipe.estimate_series(trace, imu, times)
+            ref = []
+            for t in times:
+                partial = trace.slice_time(-math.inf, t)
+                imu_p = ImuTrace(
+                    [s for s in imu.samples if s.timestamp <= t])
+                try:
+                    ref.append((t, pipe.estimate(partial, imu_p)))
+                except InsufficientDataError:
+                    continue
+            assert len(series) == len(ref)
+            for (t_a, a), (t_b, b) in zip(series, ref):
+                assert t_a == t_b
+                assert a.position.x == b.position.x
+                assert a.position.y == b.position.y
+                assert a.n == b.n and a.gamma == b.gamma
+                assert a.confidence == b.confidence
+
+    def test_cache_reused_across_batches(self):
+        from repro import perf
+
+        rec = _session(seed=3, leg1=6.0, leg2=5.0)
+        trace = rec.rssi_traces["b"]
+        ts = trace.timestamps()
+        times = list(np.arange(float(ts[0]) + 2.0, float(ts[-1]) + 2.0, 2.0))
+        perf.reset()
+        LocBLE().estimate_series(trace, rec.observer_imu.trace, times)
+        counters = perf.snapshot()["counters"]
+        assert counters.get("pipeline.pq_cache_reuses", 0) > 0

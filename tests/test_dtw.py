@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dtw.dtw import dtw_distance, dtw_full
+from repro.dtw.dtw import _dtw_distance_reference, dtw_distance, dtw_full
 from repro.dtw.lowerbound import envelope, lb_keogh
 from repro.dtw.segmatch import SegmentMatcher
 from repro.errors import ConfigurationError, InsufficientDataError
@@ -58,6 +58,36 @@ class TestDtwDistance:
     @settings(max_examples=40)
     def test_self_distance_zero(self, a):
         assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestVectorizedMatchesReference:
+    """The banded two-buffer update must reproduce the per-cell DP exactly."""
+
+    @given(seqs, seqs,
+           st.one_of(st.none(), st.integers(min_value=0, max_value=12)))
+    @settings(max_examples=60)
+    def test_equivalence(self, a, b, window):
+        assert dtw_distance(a, b, window=window) == pytest.approx(
+            _dtw_distance_reference(a, b, window=window), rel=1e-9, abs=1e-9
+        )
+
+    def test_degenerate_length_one(self):
+        assert dtw_distance([3.0], [5.0]) == pytest.approx(2.0)
+        assert dtw_distance([3.0], [5.0, 4.0], window=0) == pytest.approx(
+            _dtw_distance_reference([3.0], [5.0, 4.0], window=0))
+
+    def test_mismatched_lengths(self, rng):
+        a = rng.normal(size=7)
+        b = rng.normal(size=31)
+        for w in (None, 0, 1, 3, 50):
+            assert dtw_distance(a, b, window=w) == pytest.approx(
+                _dtw_distance_reference(a, b, window=w), rel=1e-9)
+
+    def test_long_sequences_window(self, rng):
+        a = np.cumsum(rng.normal(size=200))
+        b = np.cumsum(rng.normal(size=200))
+        assert dtw_distance(a, b, window=10) == pytest.approx(
+            _dtw_distance_reference(a, b, window=10), rel=1e-9)
 
 
 class TestDtwFull:
@@ -120,6 +150,11 @@ class TestLbKeogh:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ConfigurationError):
             lb_keogh(np.zeros(5), np.zeros(6), 2)
+
+    def test_precomputed_envelope_matches(self, rng):
+        a, t = rng.normal(size=25), rng.normal(size=25)
+        env = envelope(t, 3)
+        assert lb_keogh(a, t, 3, env=env) == lb_keogh(a, t, 3)
 
 
 def _trend_trace(rng, beacon_id, offset=0.0, shape="log", n=90, noise=1.0):
@@ -185,3 +220,20 @@ class TestSegmentMatcher:
         target = _trend_trace(rng, "t")
         result = SegmentMatcher().match(target, _trend_trace(rng, "n", -4.0))
         assert 0.0 <= result.match_fraction <= 1.0
+
+    def test_envelope_cache_hits_across_candidates(self, rng):
+        from repro import perf
+
+        target = _trend_trace(rng, "t")
+        cands = [_trend_trace(rng, f"c{k}", offset=-2.0 * k) for k in range(4)]
+        matcher = SegmentMatcher()
+        perf.reset()
+        serial = [matcher.match(target, c).matched for c in cands]
+        hits = perf.snapshot()["counters"].get(
+            "segmatch.envelope_cache_hits", 0)
+        # Each target segment's envelope is computed for the first candidate
+        # and reused for the other three.
+        assert hits > 0
+        # The cache must not change any verdict.
+        batch = [r.matched for r in matcher.match_many(target, cands)]
+        assert batch == serial
