@@ -28,7 +28,20 @@ from repro.core import (
     LocBLE,
     Navigator,
 )
-from repro.sim import BeaconSpec, EnvDatasetBuilder, MeasurementRecord, Simulator
+from repro.robustness import (
+    EstimateDiagnostics,
+    SanitizationReport,
+    check_trace,
+    sanitize_trace,
+)
+from repro.sim import (
+    BeaconSpec,
+    EnvDatasetBuilder,
+    FaultModel,
+    MeasurementRecord,
+    Simulator,
+    degradation_sweep,
+)
 from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace, Vec2
 from repro.world import Floorplan, Trajectory, l_shape, straight_walk
 from repro.world.scenarios import SCENARIOS, Scenario, scenario
@@ -39,7 +52,9 @@ __all__ = [
     "DartleRanger", "ProximityEstimator", "ProximityZone",
     "AdaptiveNoiseFilter", "ClusteringCalibrator", "EllipticalEstimator",
     "EnvAwareClassifier", "LocBLE", "Navigator", "BeaconSpec",
-    "EnvDatasetBuilder", "MeasurementRecord", "Simulator", "EnvClass",
+    "EnvDatasetBuilder", "FaultModel", "degradation_sweep",
+    "EstimateDiagnostics", "SanitizationReport", "check_trace",
+    "sanitize_trace", "MeasurementRecord", "Simulator", "EnvClass",
     "ImuTrace", "LocationEstimate", "RssiTrace", "Vec2", "Floorplan",
     "Trajectory", "l_shape", "straight_walk", "SCENARIOS", "Scenario",
     "scenario", "__version__",

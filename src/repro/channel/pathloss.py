@@ -80,8 +80,23 @@ def rss_at(distance_m, gamma_dbm: float, n: float):
     return gamma_dbm - 10.0 * n * np.log10(d)
 
 
-def distance_for_rss(rss_dbm: float, gamma_dbm: float, n: float) -> float:
-    """Inverse of :func:`rss_at` (no clamp: pure model inversion)."""
+def distance_for_rss(rss_dbm, gamma_dbm: float, n: float):
+    """Inverse of :func:`rss_at`, clamp-consistent with the forward model.
+
+    :func:`rss_at` never evaluates the log model inside ``MIN_DISTANCE_M``,
+    so an RSS stronger than ``rss_at(MIN_DISTANCE_M)`` maps back to exactly
+    that clamp distance rather than a sub-near-field artefact — the
+    round-trip invariant is ``distance_for_rss(rss_at(d)) ==
+    max(d, MIN_DISTANCE_M)`` for every ``d``. Accepts a scalar (returns
+    ``float``) or an array (returns an ``ndarray``), mirroring
+    :func:`rss_at`.
+    """
     if n <= 0:
         raise ConfigurationError("path-loss exponent must be positive")
-    return 10.0 ** ((gamma_dbm - rss_dbm) / (10.0 * n))
+    if np.ndim(rss_dbm) == 0:
+        d = 10.0 ** ((gamma_dbm - float(rss_dbm)) / (10.0 * n))
+        return max(d, MIN_DISTANCE_M)
+    d = np.power(
+        10.0, (gamma_dbm - np.asarray(rss_dbm, dtype=float)) / (10.0 * n)
+    )
+    return np.maximum(d, MIN_DISTANCE_M)

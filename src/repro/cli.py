@@ -9,6 +9,7 @@ Usage examples::
     python -m repro sweep-distance --repeats 3
     python -m repro coverage --scenario 6
     python -m repro report --scenario 1 --seed 1
+    python -m repro degrade --scenario 1 --seeds 8 --loss 0 0.1 0.3
 
 Every command is a thin wrapper over the public API, prints a small report
 and returns 0 on success, so the CLI doubles as living documentation of the
@@ -66,6 +67,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="quality report for one measurement")
     p.add_argument("--scenario", type=int, default=1, choices=range(1, 10))
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "degrade",
+        help="accuracy degradation curve under injected trace faults",
+    )
+    p.add_argument("--scenario", type=int, default=1, choices=range(1, 10))
+    p.add_argument("--seeds", type=int, default=8)
+    p.add_argument("--loss", type=float, nargs="+",
+                   default=[0.0, 0.1, 0.3, 0.5],
+                   help="bursty loss rates to sweep")
+    p.add_argument("--burst", type=float, default=3.0,
+                   help="mean loss burst length (samples)")
+    p.add_argument("--outages", type=int, default=0,
+                   help="number of scan outages per trace")
+    p.add_argument("--outage-s", type=float, default=1.0)
+    p.add_argument("--jitter-ms", type=float, default=0.0,
+                   help="timestamp jitter sigma (ms)")
+    p.add_argument("--skew-ppm", type=float, default=0.0)
+    p.add_argument("--spike-rate", type=float, default=0.0)
+    p.add_argument("--spike-db", type=float, default=20.0)
+    p.add_argument("--nan-rate", type=float, default=0.0)
 
     return parser
 
@@ -234,6 +256,38 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_degrade(args) -> int:
+    from repro import scenario
+    from repro.sim.faults import FaultModel, degradation_sweep
+    from repro.sim.montecarlo import summarize
+
+    sc = scenario(args.scenario)
+    models = [
+        FaultModel(
+            loss_rate=loss,
+            mean_burst=args.burst,
+            n_outages=args.outages,
+            outage_s=args.outage_s,
+            jitter_s=args.jitter_ms / 1000.0,
+            skew_ppm=args.skew_ppm,
+            spike_rate=args.spike_rate,
+            spike_db=args.spike_db,
+            nan_rate=args.nan_rate,
+        )
+        for loss in args.loss
+    ]
+    print(f"scenario #{sc.index} {sc.name}, {args.seeds} seeds per point")
+    print(f"{'loss':>5s} {'n':>3s} {'median':>7s} {'mean':>6s} {'p90':>6s}")
+    for model, errors in degradation_sweep(sc, range(args.seeds), models):
+        if not errors:
+            print(f"{model.loss_rate:5.2f}   0  all trials refused")
+            continue
+        s = summarize(errors)
+        print(f"{model.loss_rate:5.2f} {s.n:3d} {s.median:7.2f} "
+              f"{s.mean:6.2f} {s.p90:6.2f}")
+    return 0
+
+
 _COMMANDS = {
     "locate": _cmd_locate,
     "table1": _cmd_table1,
@@ -242,6 +296,7 @@ _COMMANDS = {
     "sweep-distance": _cmd_sweep_distance,
     "coverage": _cmd_coverage,
     "report": _cmd_report,
+    "degrade": _cmd_degrade,
 }
 
 

@@ -17,10 +17,11 @@ from typing import Sequence
 import numpy as np
 
 from repro import perf
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataQualityError
 from repro.filters.butterworth import ButterworthLowPass
 from repro.filters.kalman import adaptive_kalman_fuse
 from repro.filters.smoothing import moving_average
+from repro.robustness.sanitize import check_trace, robust_rate_hz
 from repro.types import RssiTrace
 
 __all__ = ["AdaptiveNoiseFilter"]
@@ -54,8 +55,8 @@ class AdaptiveNoiseFilter:
         values = np.asarray(values, dtype=float)
         if values.size < _MIN_FILTER_SAMPLES:
             return values.copy()
-        if fs_hz <= 0:
-            raise ConfigurationError("fs_hz must be positive")
+        if not np.isfinite(fs_hz) or fs_hz <= 0:
+            raise ConfigurationError("fs_hz must be positive and finite")
 
         smoothed = values
         if self.use_butterworth:
@@ -89,11 +90,27 @@ class AdaptiveNoiseFilter:
         return smoothed
 
     def apply_trace(self, trace: RssiTrace) -> RssiTrace:
-        """Convenience: filter a trace in place of its RSSI values."""
+        """Convenience: filter a trace in place of its RSSI values.
+
+        The filter design needs the trace's sampling rate, derived from the
+        median inter-arrival time (:func:`repro.robustness.robust_rate_hz`)
+        so dropout gaps and coalesced duplicates cannot skew it. A trace
+        from which no rate can be derived (all timestamps identical), or one
+        with unsorted/non-finite data, raises a
+        :class:`~repro.errors.DataQualityError` instead of being filtered
+        with a made-up rate.
+        """
         if len(trace) < _MIN_FILTER_SAMPLES:
             return RssiTrace(list(trace.samples))
-        fs = trace.mean_rate_hz()
-        filtered = self.apply(trace.values(), fs if fs > 0 else 9.0)
+        check_trace(trace, context="filter input trace")
+        fs = robust_rate_hz(trace.timestamps())
+        if fs <= 0:
+            raise DataQualityError(
+                "cannot derive a sampling rate: trace timestamps span zero "
+                "duration; sanitize the log or pass values to apply() with "
+                "an explicit fs_hz"
+            )
+        filtered = self.apply(trace.values(), fs)
         return RssiTrace.from_arrays(
             trace.timestamps(),
             filtered,

@@ -11,13 +11,15 @@ current class, so one noisy window cannot throw away a whole regression.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.features import feature_matrix, window_features
-from repro.errors import NotFittedError
+from repro.errors import ConfigurationError, NotFittedError
+from repro.robustness.sanitize import check_trace
 from repro.ml.preprocessing import StandardScaler
 from repro.ml.svm import MultiClassSVM
 from repro.types import EnvClass, RssiTrace
@@ -27,11 +29,26 @@ __all__ = ["EnvAwareClassifier", "EnvironmentMonitor", "trace_windows"]
 
 def trace_windows(trace: RssiTrace, window_s: float = 2.0,
                   min_samples: int = 6) -> List[np.ndarray]:
-    """Cut a trace into consecutive window value-arrays for classification."""
+    """Cut a trace into consecutive window value-arrays for classification.
+
+    ``window_s`` must be a positive finite duration (a non-positive width
+    would never advance the window cursor) and the trace must be clean —
+    finite, time-sorted values (:func:`repro.robustness.check_trace`
+    semantics). A zero-duration trace (a single sample, or coalesced
+    duplicates) is one degenerate window: returned whole when it meets
+    ``min_samples``, else no windows.
+    """
+    if not math.isfinite(window_s) or window_s <= 0:
+        raise ConfigurationError("window_s must be positive and finite")
+    if min_samples < 1:
+        raise ConfigurationError("min_samples must be >= 1")
     if len(trace) == 0:
         return []
+    check_trace(trace, context="trace_windows input")
     ts = trace.timestamps()
     vals = trace.values()
+    if float(ts[-1]) <= float(ts[0]):
+        return [vals.copy()] if len(vals) >= min_samples else []
     out: List[np.ndarray] = []
     t = float(ts[0])
     while t < float(ts[-1]):

@@ -34,7 +34,12 @@ from scipy.optimize import least_squares
 
 from repro import perf
 from repro.channel.pathloss import MIN_DISTANCE_M, rss_at
-from repro.errors import EstimationError, InsufficientDataError
+from repro.errors import (
+    DataQualityError,
+    DegenerateGeometryError,
+    EstimationError,
+    InsufficientDataError,
+)
 from repro.types import Vec2
 
 __all__ = ["FitResult", "EllipticalEstimator", "DEFAULT_N_GRID"]
@@ -190,6 +195,11 @@ class EllipticalEstimator:
         rss = np.asarray(rss, dtype=float)
         if not (p.shape == q.shape == rss.shape) or p.ndim != 1:
             raise EstimationError("p, q and rss must be aligned 1-D arrays")
+        if not (np.all(np.isfinite(p)) and np.all(np.isfinite(q))
+                and np.all(np.isfinite(rss))):
+            raise DataQualityError(
+                "p, q and rss must be finite; sanitize the trace first"
+            )
         if len(p) < self.min_samples:
             raise InsufficientDataError(
                 f"need >= {self.min_samples} matched samples, got {len(p)}"
@@ -467,7 +477,8 @@ class EllipticalEstimator:
         n_values = np.asarray(self.n_grid, dtype=float)
         valid, x, h, g, eps = self._solve_grid(p, q, rss, n_values, use_q)
         if not np.any(valid):
-            raise EstimationError("no path-loss exponent yielded a valid solve")
+            raise DegenerateGeometryError(
+                "no path-loss exponent yielded a valid solve")
 
         with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
             # Recover the lateral offset where the solve left it implicit.
@@ -500,7 +511,8 @@ class EllipticalEstimator:
         cost = np.where(valid & np.isfinite(cost), cost, np.inf)
         best_idx = int(np.argmin(cost))
         if not np.isfinite(cost[best_idx]):
-            raise EstimationError("no path-loss exponent yielded a valid solve")
+            raise DegenerateGeometryError(
+                "no path-loss exponent yielded a valid solve")
         xb, hb = float(x[best_idx]), float(h[best_idx])
         return FitResult(
             position=Vec2(xb, hb),
@@ -551,7 +563,8 @@ class EllipticalEstimator:
                     g=g,
                 )
         if best is None:
-            raise EstimationError("no path-loss exponent yielded a valid solve")
+            raise DegenerateGeometryError(
+                "no path-loss exponent yielded a valid solve")
         return best
 
     def _fit_joint(
@@ -578,7 +591,8 @@ class EllipticalEstimator:
                     position_std=pos_std,
                 )
         if best is None:
-            raise EstimationError("no path-loss exponent yielded a valid solve")
+            raise DegenerateGeometryError(
+                "no path-loss exponent yielded a valid solve")
         return best
 
     def _fit_single_axis(
@@ -610,5 +624,6 @@ class EllipticalEstimator:
                     position_std=pos_std,
                 )
         if best is None:
-            raise EstimationError("no path-loss exponent yielded a valid solve")
+            raise DegenerateGeometryError(
+                "no path-loss exponent yielded a valid solve")
         return best

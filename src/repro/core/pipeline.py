@@ -22,18 +22,27 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import perf
+from repro.channel.pathloss import distance_for_rss
 from repro.core.anf import AdaptiveNoiseFilter
 from repro.core.confidence import estimation_confidence
 from repro.core.envaware import EnvAwareClassifier, EnvironmentMonitor
 from repro.core.estimator import EllipticalEstimator, FitResult
 from repro.errors import (
     ConfigurationError,
+    DataQualityError,
     EstimationError,
     InsufficientDataError,
 )
 from repro.imu.sensors import SynthesizedImu
 from repro.motion.deadreckoning import MotionTracker
-from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace
+from repro.robustness.diagnostics import EstimateDiagnostics
+from repro.robustness.sanitize import (
+    SanitizationReport,
+    check_trace,
+    robust_rate_hz,
+    sanitize_trace,
+)
+from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace, Vec2
 
 __all__ = ["LocBLE", "EstimationContext"]
 
@@ -58,6 +67,7 @@ class EstimationContext:
     env_class: str
     env_changes: List[float] = field(default_factory=list)
     fit: Optional[FitResult] = None
+    sanitization: Optional[SanitizationReport] = None
 
 
 @dataclass
@@ -97,6 +107,18 @@ class LocBLE:
     use_env_prior: bool = True
     batch_s: float = DEFAULT_BATCH_S
     envaware_hysteresis: int = 2
+    #: Input-trace policy: ``"strict"`` rejects malformed traces with a
+    #: typed :class:`~repro.errors.DataQualityError`; ``"repair"`` routes
+    #: them through :func:`repro.robustness.sanitize_trace` and carries the
+    #: report on the estimate's diagnostics. Fault-injection sweeps run in
+    #: repair mode; interactive use keeps strict so bad logs surface loudly.
+    sanitize: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.sanitize not in ("strict", "repair"):
+            raise ConfigurationError(
+                f"sanitize must be 'strict' or 'repair', got {self.sanitize!r}"
+            )
 
     # -- public API ---------------------------------------------------------
 
@@ -169,9 +191,87 @@ class LocBLE:
                 ctx = self._build_context(
                     partial, imu_partial, None, _pq_cache=cache)
                 out.append((t, self._estimate_from_context(ctx)))
-            except InsufficientDataError:
+            except (InsufficientDataError, EstimationError):
+                # A prefix can be unobservable (standstill start, degenerate
+                # geometry) even when later prefixes estimate fine; skip it
+                # rather than abort the series.
                 continue
         return out
+
+    def estimate_robust(
+        self,
+        rssi_trace: RssiTrace,
+        observer_imu: ImuTrace,
+        target_imu: Optional[ImuTrace] = None,
+    ) -> LocationEstimate:
+        """Estimate with graceful degradation: data pathologies never raise.
+
+        The trace is first repaired by
+        :func:`repro.robustness.sanitize_trace`; if the full pipeline then
+        refuses (too few surviving samples, degenerate geometry, no valid
+        solve), a *fallback estimate* is returned instead of an exception: a
+        proximity-style range from the median surviving RSS at the
+        estimator's prior parameters, bearing unknown, with
+        ``confidence = 0.0`` and an
+        :class:`~repro.robustness.EstimateDiagnostics` explaining the
+        failure. Caller bugs (mismatched IMU types, bad configuration)
+        still raise — only *data* problems degrade.
+        """
+        clean, report = sanitize_trace(rssi_trace)
+        try:
+            ctx = self._build_context(clean, observer_imu, target_imu)
+            ctx.sanitization = report
+            return self._estimate_from_context(ctx)
+        except (DataQualityError, InsufficientDataError, EstimationError) as exc:
+            return self._fallback_estimate(clean, report, exc)
+
+    def _fallback_estimate(
+        self,
+        trace: RssiTrace,
+        report: SanitizationReport,
+        exc: Exception,
+    ) -> LocationEstimate:
+        """Diagnostic-bearing zero-confidence result when the fit refused.
+
+        With any usable RSS at all, the median reading inverted at the
+        estimator's prior (Γ, n) gives a coarse range; the bearing is
+        unknowable without geometry, so the position sits on the +x axis
+        and ``position_std`` is set to the range itself — downstream
+        1/var weighting then effectively ignores it.
+        """
+        vals = trace.values() if len(trace) else np.empty(0)
+        finite = vals[np.isfinite(vals)]
+        failure = f"{type(exc).__name__}: {exc}"
+        if finite.size == 0:
+            return LocationEstimate(
+                position=Vec2(float("nan"), float("nan")),
+                confidence=0.0,
+                diagnostics=EstimateDiagnostics(
+                    sanitization=report,
+                    fallback="no-data",
+                    failure=failure,
+                    n_samples_used=0,
+                ),
+            )
+        gamma = self.estimator.gamma_prior
+        gamma = float(gamma) if gamma is not None else -59.0
+        n = self.estimator.n_prior
+        n = float(n) if n is not None else 2.0
+        d = min(float(distance_for_rss(float(np.median(finite)), gamma, n)),
+                30.0)
+        return LocationEstimate(
+            position=Vec2(d, 0.0),
+            confidence=0.0,
+            gamma=gamma,
+            n=n,
+            position_std=d,
+            diagnostics=EstimateDiagnostics(
+                sanitization=report,
+                fallback="range-only",
+                failure=failure,
+                n_samples_used=int(finite.size),
+            ),
+        )
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -182,24 +282,16 @@ class LocBLE:
         target_imu: Optional[ImuTrace],
         _pq_cache: Optional[_PqCache] = None,
     ) -> EstimationContext:
+        report: Optional[SanitizationReport] = None
+        if self.sanitize == "repair":
+            rssi_trace, report = sanitize_trace(rssi_trace)
         if len(rssi_trace) < self.estimator.min_samples:
             raise InsufficientDataError(
                 f"trace has {len(rssi_trace)} samples; "
                 f"need >= {self.estimator.min_samples}"
             )
-        values_check = rssi_trace.values()
-        if not np.all(np.isfinite(values_check)):
-            bad = int(np.sum(~np.isfinite(values_check)))
-            raise ConfigurationError(
-                f"trace contains {bad} non-finite RSSI value(s); "
-                "clean the log before estimation"
-            )
-        ts_check = rssi_trace.timestamps()
-        if np.any(np.diff(ts_check) < 0):
-            raise ConfigurationError(
-                "trace timestamps are not sorted; sort samples by time "
-                "before estimation"
-            )
+        if report is None:
+            check_trace(rssi_trace, context="trace")
 
         # Step 1 — movement detection (observer, and target if moving).
         observer_track = self.motion_tracker.track(observer_imu)
@@ -239,8 +331,13 @@ class LocBLE:
         # Step 3b — adaptive noise filtering on the active regression
         # segment only: filtering across an environment change would smear
         # the pre-change RSS level into the fresh regression's data.
-        fs = rssi_trace.mean_rate_hz()
-        filtered = self.anf.apply(raw_rss[seg_start:], fs if fs > 0 else 9.0)
+        fs = robust_rate_hz(ts)
+        if fs <= 0:
+            raise DataQualityError(
+                "trace timestamps span zero duration; cannot derive a "
+                "sampling rate for noise filtering"
+            )
+        filtered = self.anf.apply(raw_rss[seg_start:], fs)
 
         return EstimationContext(
             matched_p=p[seg_start:],
@@ -249,6 +346,7 @@ class LocBLE:
             segment_start_index=seg_start,
             env_class=env_class,
             env_changes=changes,
+            sanitization=report,
         )
 
     @staticmethod
@@ -309,6 +407,12 @@ class LocBLE:
         ctx.fit = fit
         confidence = estimation_confidence(fit.residuals)
         ambiguous = (fit.mirror,) if fit.mirror is not None else ()
+        diagnostics = None
+        if ctx.sanitization is not None:
+            diagnostics = EstimateDiagnostics(
+                sanitization=ctx.sanitization,
+                n_samples_used=int(len(ctx.matched_rss)),
+            )
         return LocationEstimate(
             position=fit.position,
             confidence=confidence,
@@ -317,6 +421,7 @@ class LocBLE:
             environment=ctx.env_class,
             ambiguous=ambiguous,
             position_std=fit.position_std,
+            diagnostics=diagnostics,
         )
 
     def _segment_by_environment(

@@ -28,6 +28,7 @@ from repro.dtw.dtw import dtw_distance
 from repro.dtw.lowerbound import envelope, lb_keogh
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.filters.smoothing import differentiate, moving_average
+from repro.robustness.sanitize import check_trace
 from repro.types import RssiTrace
 
 #: Per-matcher LRU capacity for cached target-segment envelopes.
@@ -96,6 +97,7 @@ class SegmentMatcher:
             raise InsufficientDataError(
                 f"need at least {self.segment_len + 1} samples, got {len(trace)}"
             )
+        check_trace(trace, context="segment-matcher trace")
         values = moving_average(trace.values(), self.smooth_window)
         diffed = differentiate(values)
         return trace.timestamps()[1:], diffed

@@ -15,6 +15,19 @@ class ConfigurationError(ReproError):
     """A component was constructed with invalid or inconsistent parameters."""
 
 
+class DataQualityError(ConfigurationError):
+    """Measurement data is malformed or degraded beyond use.
+
+    Distinguishes *data pathologies* (NaN RSS from a flaky scanner, unsorted
+    or duplicate timestamps, zero-duration traces) from *caller bugs*
+    (:class:`ConfigurationError` proper: bad parameters, mismatched array
+    shapes). It derives from :class:`ConfigurationError` so existing callers
+    that catch the broader class keep working; new code should catch this
+    class to handle dirty field logs specifically — typically by routing the
+    trace through :func:`repro.robustness.sanitize_trace` and retrying.
+    """
+
+
 class InsufficientDataError(ReproError):
     """An algorithm received too few samples to produce a meaningful result.
 
@@ -25,6 +38,18 @@ class InsufficientDataError(ReproError):
 
 class EstimationError(ReproError):
     """Location estimation failed to converge or produced no valid solution."""
+
+
+class DegenerateGeometryError(EstimationError):
+    """The measurement geometry cannot constrain the estimate.
+
+    Raised when every candidate regression is rank-deficient or no
+    path-loss exponent yields a valid solve — typically a standstill walk,
+    a perfectly collinear trace, or RSS with no distance structure. Derives
+    from :class:`EstimationError` so existing handlers keep working;
+    :meth:`repro.core.pipeline.LocBLE.estimate_robust` converts it into a
+    zero-confidence fallback estimate instead of propagating it.
+    """
 
 
 class PacketError(ReproError):

@@ -37,8 +37,16 @@ class ScalarKalman:
     _initialized: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
+        # process_var == 0 is a legitimate static-level model; only the
+        # measurement variance must be strictly positive (it divides the
+        # gain). Non-finite values would propagate NaN through every step.
+        if not (math.isfinite(self.process_var)
+                and math.isfinite(self.measurement_var)):
+            raise ConfigurationError("variances must be finite")
         if self.process_var < 0 or self.measurement_var <= 0:
-            raise ConfigurationError("variances must be positive")
+            raise ConfigurationError(
+                "process variance must be >= 0 and measurement variance > 0"
+            )
 
     def step(self, z: float, control: float = 0.0) -> float:
         """Predict (with optional control/trend input) then update with ``z``."""
@@ -88,8 +96,13 @@ class AdaptiveKalman:
     _initialized: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
+        if not (math.isfinite(self.process_var)
+                and math.isfinite(self.initial_measurement_var)):
+            raise ConfigurationError("variances must be finite")
         if self.process_var < 0 or self.initial_measurement_var <= 0:
-            raise ConfigurationError("variances must be positive")
+            raise ConfigurationError(
+                "process variance must be >= 0 and measurement variance > 0"
+            )
         if self.window < 2:
             raise ConfigurationError("window must be >= 2")
         self._r = self.initial_measurement_var

@@ -1,0 +1,41 @@
+"""Diagnostics attached to degraded (low-confidence) location estimates.
+
+When :meth:`LocBLE.estimate_robust <repro.core.pipeline.LocBLE.estimate_robust>`
+cannot run the full elliptical regression — degenerate geometry, too few
+samples after sanitization, a rank-deficient solve — it returns a fallback
+estimate instead of raising. The :class:`EstimateDiagnostics` carried on
+that estimate records *why* confidence is zero, so degradation-curve
+experiments can tabulate failure modes instead of losing them to a bare
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.robustness.sanitize import SanitizationReport
+
+__all__ = ["EstimateDiagnostics"]
+
+
+@dataclass(frozen=True)
+class EstimateDiagnostics:
+    """Why and how an estimate was produced under degraded conditions.
+
+    ``fallback`` is ``None`` when the full pipeline ran; otherwise a short
+    tag naming the fallback path taken (``"range-only"`` when only a
+    proximity-style range from the median RSS was possible, ``"no-data"``
+    when nothing usable survived sanitization). ``failure`` carries the
+    message of the pipeline error that forced the fallback.
+    """
+
+    sanitization: Optional[SanitizationReport] = None
+    fallback: Optional[str] = None
+    failure: Optional[str] = None
+    n_samples_used: int = 0
+
+    @property
+    def full_pipeline(self) -> bool:
+        """True when the regular estimation pipeline produced the result."""
+        return self.fallback is None

@@ -1,6 +1,15 @@
 """Trace generation: measurement simulation, datasets, persistence."""
 
 from repro.sim.datasets import EnvDatasetBuilder, LabeledWindow, windows_from_trace
+from repro.sim.faults import (
+    FaultModel,
+    degradation_sweep,
+    inject_bursty_loss,
+    inject_clock_faults,
+    inject_nonfinite,
+    inject_outages,
+    inject_spikes,
+)
 from repro.sim.montecarlo import TrialSummary, empirical_cdf, stationary_trials, summarize
 from repro.sim.parallel import TrialResult, effective_workers, run_trials
 from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
@@ -19,6 +28,9 @@ __all__ = [
     "MeasurementRecord", "Simulator", "Measurement3D", "Simulator3D",
     "ramp_profile", "TrialSummary", "empirical_cdf", "stationary_trials",
     "summarize", "TrialResult", "effective_workers", "run_trials",
+    "FaultModel", "degradation_sweep", "inject_bursty_loss",
+    "inject_clock_faults", "inject_nonfinite", "inject_outages",
+    "inject_spikes",
     "imu_trace_from_dict",
     "imu_trace_to_dict", "load_session", "rssi_trace_from_dict",
     "rssi_trace_to_dict", "save_session",

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.estimator import EllipticalEstimator
 from repro.core.pipeline import LocBLE
 from repro.errors import ConfigurationError, ReproError
+from repro.sim.faults import FaultModel
 from repro.sim.parallel import run_trials
 from repro.sim.simulator import BeaconSpec, Simulator
 from repro.world.scenarios import Scenario
@@ -47,6 +48,7 @@ class _StationaryTrial:
     use_env_prior: bool
     env: str
     legs: Tuple[float, float]
+    fault_model: Optional[FaultModel] = None
 
     def __call__(self, seed: int):
         rng = np.random.default_rng(seed)
@@ -57,6 +59,10 @@ class _StationaryTrial:
         )
         rec = sim.simulate(walk, [
             BeaconSpec("target", position=self.scenario.beacon_position)])
+        trace = rec.rssi_traces["target"]
+        faulted = self.fault_model is not None and not self.fault_model.is_null()
+        if faulted:
+            trace = self.fault_model.apply(trace, rng)
         if self.pipeline_factory is not None:
             pipeline = self.pipeline_factory()
         elif self.use_env_prior:
@@ -64,10 +70,17 @@ class _StationaryTrial:
                 estimator=EllipticalEstimator().with_environment(self.env))
         else:
             pipeline = LocBLE()
+        truth = rec.true_position_in_frame("target")
+        if faulted:
+            # Degraded inputs go through the graceful path: sanitization plus
+            # the zero-confidence fallback instead of a refusal, so the
+            # degradation curve keeps every trial it possibly can.
+            est = pipeline.estimate_robust(trace, rec.observer_imu.trace)
+            err = est.error_to(truth)
+            return float(err) if math.isfinite(err) else _REFUSED
         try:
-            est = pipeline.estimate(rec.rssi_traces["target"],
-                                    rec.observer_imu.trace)
-            return est.error_to(rec.true_position_in_frame("target"))
+            est = pipeline.estimate(trace, rec.observer_imu.trace)
+            return est.error_to(truth)
         except ReproError:
             return _REFUSED
 
@@ -100,6 +113,7 @@ def stationary_trials(
     failure_value: Optional[float] = None,
     max_workers: Optional[int] = None,
     parallel: str = "auto",
+    fault_model: Optional[FaultModel] = None,
 ) -> List[float]:
     """Run seeded stationary-target measurements; return per-trial errors.
 
@@ -107,6 +121,12 @@ def stationary_trials(
     (None drops them). With ``use_env_prior`` the estimator is configured
     with the scenario's true dominant environment class — what EnvAware
     would supply at runtime.
+
+    ``fault_model`` (a :class:`repro.sim.faults.FaultModel`) degrades each
+    trial's trace — bursty loss, outages, clock faults, spikes — before
+    estimation; faulted trials run through
+    :meth:`~repro.core.pipeline.LocBLE.estimate_robust`, so sanitization
+    and graceful degradation are part of what the sweep measures.
 
     Trials are dispatched through :func:`repro.sim.parallel.run_trials`:
     each seed is self-contained, so ``max_workers`` / ``parallel`` change
@@ -123,6 +143,7 @@ def stationary_trials(
         use_env_prior=use_env_prior,
         env=env,
         legs=(float(legs[0]), float(legs[1])),
+        fault_model=fault_model,
     )
     results = run_trials(
         trial, seeds, max_workers=max_workers, parallel=parallel)

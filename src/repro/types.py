@@ -250,7 +250,10 @@ class LocationEstimate:
     ``position`` is in the measurement frame; ``confidence`` in [0, 1] derives
     from the residual-Gaussian test of Sec. 5 ("Estimation confidence");
     ``gamma`` and ``n`` are the fitted path-loss parameters; ``ambiguous``
-    lists alternative mirror solutions not yet ruled out.
+    lists alternative mirror solutions not yet ruled out. ``diagnostics``
+    (a :class:`repro.robustness.EstimateDiagnostics`, kept untyped here to
+    avoid a base-module dependency) is populated by the robust estimation
+    path to explain degraded, low-confidence results.
     """
 
     position: Vec2
@@ -260,6 +263,7 @@ class LocationEstimate:
     environment: str = EnvClass.LOS
     ambiguous: Tuple[Vec2, ...] = ()
     position_std: float = float("nan")
+    diagnostics: Optional[object] = None
 
     def distance(self) -> float:
         """Estimated range from the observer's origin to the beacon."""
