@@ -28,6 +28,13 @@ from repro.core import (
     LocBLE,
     Navigator,
 )
+from repro.service import (
+    ServiceConfig,
+    SessionConfig,
+    SessionState,
+    TrackingService,
+    TrackingSession,
+)
 from repro.robustness import (
     EstimateDiagnostics,
     SanitizationReport,
@@ -57,5 +64,6 @@ __all__ = [
     "sanitize_trace", "MeasurementRecord", "Simulator", "EnvClass",
     "ImuTrace", "LocationEstimate", "RssiTrace", "Vec2", "Floorplan",
     "Trajectory", "l_shape", "straight_walk", "SCENARIOS", "Scenario",
-    "scenario", "__version__",
+    "scenario", "ServiceConfig", "SessionConfig", "SessionState",
+    "TrackingService", "TrackingSession", "__version__",
 ]

@@ -10,6 +10,7 @@ Usage examples::
     python -m repro coverage --scenario 6
     python -m repro report --scenario 1 --seed 1
     python -m repro degrade --scenario 1 --seeds 8 --loss 0 0.1 0.3
+    python -m repro soak --duration 300 --loss 0.3 --outages 2 --outage-s 60
 
 Every command is a thin wrapper over the public API, prints a small report
 and returns 0 on success, so the CLI doubles as living documentation of the
@@ -88,6 +89,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spike-rate", type=float, default=0.0)
     p.add_argument("--spike-db", type=float, default=20.0)
     p.add_argument("--nan-rate", type=float, default=0.0)
+
+    p = sub.add_parser(
+        "soak",
+        help="long-horizon streaming soak of the tracking service",
+    )
+    p.add_argument("--scenario", type=int, default=6, choices=range(1, 10))
+    p.add_argument("--duration", type=float, default=300.0,
+                   help="stream length (seconds)")
+    p.add_argument("--tick", type=float, default=1.0,
+                   help="ingest/step period (seconds)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--beacons", type=int, default=1)
+    p.add_argument("--loss", type=float, default=0.3,
+                   help="bursty scan loss rate")
+    p.add_argument("--burst", type=float, default=3.0,
+                   help="mean loss burst length (samples)")
+    p.add_argument("--outages", type=int, default=2,
+                   help="number of full scanner outages")
+    p.add_argument("--outage-s", type=float, default=60.0)
+    p.add_argument("--nan-rate", type=float, default=0.0)
+    p.add_argument("--checkpoint-t", type=float, default=None,
+                   help="stream time of a mid-run kill-and-resume check")
 
     return parser
 
@@ -288,6 +311,52 @@ def _cmd_degrade(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    from repro.sim.faults import FaultModel
+    from repro.sim.soak import SoakConfig, run_soak
+
+    result = run_soak(SoakConfig(
+        duration_s=args.duration,
+        tick_s=args.tick,
+        seed=args.seed,
+        scenario_index=args.scenario,
+        n_beacons=args.beacons,
+        fault=FaultModel(
+            loss_rate=args.loss,
+            mean_burst=args.burst,
+            n_outages=args.outages,
+            outage_s=args.outage_s,
+            nan_rate=args.nan_rate,
+        ),
+        checkpoint_t=args.checkpoint_t,
+    ))
+    print(f"soak      : {result.duration_s:.0f} s stream, "
+          f"{result.ticks} ticks, {args.beacons} beacon(s)")
+    print(f"faults    : loss={args.loss:.2f} outages={args.outages}"
+          f"x{args.outage_s:.0f}s nan={args.nan_rate:.2f}")
+    for beacon_id in sorted(result.snapshots):
+        path = " -> ".join(result.states_visited(beacon_id))
+        print(f"  {beacon_id:8s}: {path}")
+        dwell = result.dwell.get(beacon_id, {})
+        spent = ", ".join(f"{state}={dwell[state]:.0f}s"
+                          for state in sorted(dwell) if dwell[state] > 0)
+        print(f"  {'':8s}  dwell: {spent}")
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(result.counters.items())
+                       if v)
+    print(f"counters  : {counts}")
+    if result.checkpoint_equal is not None:
+        verdict = ("bit-identical resume"
+                   if result.checkpoint_equal
+                   else f"DIVERGED at t={result.divergence_t}")
+        print(f"checkpoint: t={args.checkpoint_t:.0f}s -> {verdict}")
+    print(f"errors    : {len(result.errors)} "
+          f"({result.untyped_errors} untyped)")
+    for line in result.errors[:5]:
+        print(f"  ! {line}")
+    ok = result.untyped_errors == 0 and result.checkpoint_equal is not False
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "locate": _cmd_locate,
     "table1": _cmd_table1,
@@ -297,6 +366,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "report": _cmd_report,
     "degrade": _cmd_degrade,
+    "soak": _cmd_soak,
 }
 
 

@@ -408,10 +408,11 @@ class LocBLE:
         confidence = estimation_confidence(fit.residuals)
         ambiguous = (fit.mirror,) if fit.mirror is not None else ()
         diagnostics = None
-        if ctx.sanitization is not None:
+        if ctx.sanitization is not None or ctx.env_changes:
             diagnostics = EstimateDiagnostics(
                 sanitization=ctx.sanitization,
                 n_samples_used=int(len(ctx.matched_rss)),
+                env_changes=tuple(ctx.env_changes),
             )
         return LocationEstimate(
             position=fit.position,

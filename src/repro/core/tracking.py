@@ -12,15 +12,19 @@ one barely nudges it. The filter also provides prediction between fixes
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EstimationError
+from repro.errors import ConfigurationError, DataQualityError, EstimationError
 from repro.types import LocationEstimate, Vec2
 
 __all__ = ["BeaconTracker", "TrackState"]
+
+#: Checkpoint schema version written by :meth:`BeaconTracker.checkpoint`.
+TRACKER_CHECKPOINT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -62,12 +66,28 @@ class BeaconTracker:
         return self._x is not None
 
     def update(self, t: float, estimate: LocationEstimate) -> TrackState:
-        """Fuse one location fix taken at time ``t``."""
+        """Fuse one location fix taken at time ``t``.
+
+        A non-finite timestamp or fix position is rejected with a typed
+        :class:`~repro.errors.DataQualityError` *before* touching any filter
+        state — a NaN would otherwise slip past the time-order check (NaN
+        comparisons are all False) and permanently poison the state vector.
+        """
+        if not (isinstance(t, numbers.Real) and math.isfinite(float(t))):
+            raise DataQualityError(f"fix timestamp must be finite, got {t!r}")
+        t = float(t)
+        # Any finite positive real number is a usable std — a plain int, a
+        # numpy scalar, a Fraction — not just the builtin float.
         std = estimate.position_std
-        if not (isinstance(std, float) and math.isfinite(std) and std > 0):
+        std = float(std) if isinstance(std, numbers.Real) else float("nan")
+        if not (math.isfinite(std) and std > 0):
             std = self.default_fix_std
         r = np.eye(2) * std**2
         z = estimate.position.as_array()
+        if not np.all(np.isfinite(z)):
+            raise DataQualityError(
+                f"fix position must be finite, got {estimate.position}"
+            )
 
         if self._x is None:
             self._t = t
@@ -82,13 +102,29 @@ class BeaconTracker:
         h = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
         innovation = z - h @ self._x
         s = h @ self._p @ h.T + r
-        k = self._p @ h.T @ np.linalg.inv(s)
+        # Solve instead of inverting: K = P Hᵀ S⁻¹  ⇔  S Kᵀ = H Pᵀ.
+        try:
+            k = np.linalg.solve(s, h @ self._p.T).T
+        except np.linalg.LinAlgError as exc:
+            raise EstimationError(
+                f"innovation covariance is singular: {exc}"
+            ) from exc
         self._x = self._x + k @ innovation
-        self._p = (np.eye(4) - k @ h) @ self._p
+        # Joseph-form covariance update: algebraically identical to
+        # (I - KH)P but keeps P symmetric positive semi-definite even when
+        # S is ill-conditioned (tiny position_std fixes).
+        i_kh = np.eye(4) - k @ h
+        self._p = i_kh @ self._p @ i_kh.T + k @ r @ k.T
+        self._p = 0.5 * (self._p + self._p.T)
         return self.state()
 
     def predict(self, t: float) -> TrackState:
         """The believed state at time ``t`` (>= the last fix) without mutating."""
+        if not (isinstance(t, numbers.Real) and math.isfinite(float(t))):
+            raise DataQualityError(
+                f"prediction time must be finite, got {t!r}"
+            )
+        t = float(t)
         if self._x is None:
             raise EstimationError("tracker has no fixes yet")
         if t < self._t:
@@ -116,6 +152,51 @@ class BeaconTracker:
                 math.sqrt(max(self._p[0, 0] + self._p[1, 1], 0.0))
             ),
         )
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Serialize the complete filter state as a JSON-safe dict.
+
+        Floats survive a ``json.dumps``/``loads`` round trip bit-exactly
+        (shortest-repr encoding), so :meth:`restore` continues the track
+        bit-identically after a process kill-and-resume.
+        """
+        return {
+            "format": TRACKER_CHECKPOINT_FORMAT,
+            "process_accel_std": self.process_accel_std,
+            "default_fix_std": self.default_fix_std,
+            "t": self._t,
+            "x": self._x.tolist() if self._x is not None else None,
+            "p": self._p.tolist() if self._p is not None else None,
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "BeaconTracker":
+        """Rebuild a tracker from a :meth:`checkpoint` dict."""
+        if not isinstance(cp, dict) or cp.get("format") != TRACKER_CHECKPOINT_FORMAT:
+            found = cp.get("format") if isinstance(cp, dict) else cp
+            raise DataQualityError(
+                "unsupported tracker checkpoint: expected format "
+                f"{TRACKER_CHECKPOINT_FORMAT}, got {found!r}"
+            )
+        tracker = cls(
+            process_accel_std=float(cp["process_accel_std"]),
+            default_fix_std=float(cp["default_fix_std"]),
+        )
+        if cp["x"] is not None:
+            x = np.array(cp["x"], dtype=float)
+            p = np.array(cp["p"], dtype=float)
+            t = cp["t"]
+            if x.shape != (4,) or p.shape != (4, 4) or t is None:
+                raise DataQualityError("malformed tracker checkpoint state")
+            if not (np.all(np.isfinite(x)) and np.all(np.isfinite(p))
+                    and math.isfinite(float(t))):
+                raise DataQualityError("tracker checkpoint contains non-finite state")
+            tracker._t = float(t)
+            tracker._x = x
+            tracker._p = p
+        return tracker
 
     # -- internals ----------------------------------------------------------
 

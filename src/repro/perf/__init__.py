@@ -30,6 +30,7 @@ __all__ = [
     "registry",
     "timer",
     "count",
+    "record",
     "profiled",
     "snapshot",
     "reset",
@@ -43,6 +44,7 @@ registry = PerfRegistry()
 
 timer = registry.timer
 count = registry.count
+record = registry.record
 profiled = registry.profiled
 snapshot = registry.snapshot
 reset = registry.reset

@@ -64,6 +64,8 @@ class PerfRegistry:
 
     def record(self, name: str, elapsed_s: float) -> None:
         """Add one observation to timer ``name``."""
+        if not self.enabled:
+            return
         with self._lock:
             stats = self._timers.get(name)
             if stats is None:

@@ -12,7 +12,7 @@ experiments can tabulate failure modes instead of losing them to a bare
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.robustness.sanitize import SanitizationReport
 
@@ -28,12 +28,17 @@ class EstimateDiagnostics:
     proximity-style range from the median RSS was possible, ``"no-data"``
     when nothing usable survived sanitization). ``failure`` carries the
     message of the pipeline error that forced the fallback.
+    ``env_changes`` lists the timestamps of abrupt EnvAware environment
+    changes that restarted the regression — streaming supervisors
+    (:mod:`repro.service`) treat a fresh restart as a degraded-quality
+    signal because the regression is warming up again.
     """
 
     sanitization: Optional[SanitizationReport] = None
     fallback: Optional[str] = None
     failure: Optional[str] = None
     n_samples_used: int = 0
+    env_changes: Tuple[float, ...] = ()
 
     @property
     def full_pipeline(self) -> bool:

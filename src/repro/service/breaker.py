@@ -1,0 +1,257 @@
+"""Circuit breaker and retry backoff for per-beacon solve supervision.
+
+Two failure regimes need two different reflexes:
+
+* A *transient* solve failure (too few samples after a scan gap, a trace
+  the sanitizer could not save this batch) will usually fix itself once
+  more data arrives — retry, but back off exponentially so a session stuck
+  in a bad spot does not burn a solve attempt every step.
+* A *structural* failure (:class:`~repro.errors.DegenerateGeometryError`:
+  the observer stopped walking, the geometry cannot constrain a solution)
+  will fail the same way on every retry no matter how much data arrives —
+  repeating the full regression is pure waste. The
+  :class:`CircuitBreaker` trips after ``failure_threshold`` consecutive
+  structural failures, sheds all solve work while OPEN, and probes with a
+  single solve once per cooldown (HALF_OPEN) until one succeeds.
+
+Both are deterministic: the backoff's jitter is derived from a stable hash
+of ``(key, attempt)``, not a live RNG, so a checkpointed session resumes
+with bit-identical retry scheduling. Clocks are the *stream* clock (the
+``t`` the service is stepped with), never wall time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro import perf
+from repro.errors import ConfigurationError, DataQualityError
+
+__all__ = [
+    "BreakerConfig",
+    "BackoffConfig",
+    "CircuitBreaker",
+    "ExponentialBackoff",
+]
+
+#: Checkpoint schema version for both classes in this module.
+BREAKER_CHECKPOINT_FORMAT = 1
+
+
+def _unit_hash(key: str, attempt: int) -> float:
+    """A stable uniform-ish value in [0, 1) from (key, attempt).
+
+    ``blake2b`` rather than ``hash()``: the builtin is salted per process,
+    which would make retry schedules differ across a kill-and-resume.
+    """
+    digest = hashlib.blake2b(
+        f"{key}:{attempt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class BackoffConfig:
+    """Exponential backoff with deterministic jitter.
+
+    Delay after the ``k``-th consecutive failure is
+    ``min(base_s * factor**(k-1), max_s)`` scaled by a jitter factor in
+    ``[1 - jitter_frac, 1 + jitter_frac)`` derived from the session key.
+    """
+
+    base_s: float = 1.0
+    factor: float = 2.0
+    max_s: float = 30.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.base_s) and self.base_s > 0):
+            raise ConfigurationError("base_s must be finite and > 0")
+        if not (math.isfinite(self.factor) and self.factor >= 1.0):
+            raise ConfigurationError("factor must be finite and >= 1")
+        if not (math.isfinite(self.max_s) and self.max_s >= self.base_s):
+            raise ConfigurationError("max_s must be finite and >= base_s")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigurationError("jitter_frac must be in [0, 1)")
+
+
+class ExponentialBackoff:
+    """Schedules retries after transient failures on the stream clock."""
+
+    def __init__(self, config: Optional[BackoffConfig] = None, key: str = ""):
+        self.config = config or BackoffConfig()
+        self.key = key
+        self.attempt = 0
+        self.next_ready_t: Optional[float] = None
+
+    def ready(self, t: float) -> bool:
+        """May a retry run at stream time ``t``?"""
+        return self.next_ready_t is None or t >= self.next_ready_t
+
+    def delay_for(self, attempt: int) -> float:
+        """The (jittered, capped) delay scheduled after failure ``attempt``."""
+        cfg = self.config
+        raw = min(cfg.base_s * cfg.factor ** (attempt - 1), cfg.max_s)
+        jitter = 1.0 + cfg.jitter_frac * (2.0 * _unit_hash(self.key, attempt) - 1.0)
+        return raw * jitter
+
+    def on_failure(self, t: float) -> float:
+        """Record a transient failure; returns the scheduled delay."""
+        self.attempt += 1
+        delay = self.delay_for(self.attempt)
+        self.next_ready_t = t + delay
+        return delay
+
+    def reset(self) -> None:
+        """A success clears the failure streak and any pending delay."""
+        self.attempt = 0
+        self.next_ready_t = None
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            "format": BREAKER_CHECKPOINT_FORMAT,
+            "key": self.key,
+            "attempt": self.attempt,
+            "next_ready_t": self.next_ready_t,
+        }
+
+    @classmethod
+    def restore(
+        cls, cp: Dict[str, Any], config: Optional[BackoffConfig] = None
+    ) -> "ExponentialBackoff":
+        if not isinstance(cp, dict) or cp.get("format") != BREAKER_CHECKPOINT_FORMAT:
+            raise DataQualityError("unsupported backoff checkpoint")
+        backoff = cls(config, key=str(cp["key"]))
+        backoff.attempt = int(cp["attempt"])
+        nxt = cp["next_ready_t"]
+        backoff.next_ready_t = None if nxt is None else float(nxt)
+        return backoff
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/cooldown policy for the per-beacon solve circuit breaker.
+
+    ``failure_threshold`` consecutive structural failures open the circuit
+    for ``cooldown_s``; every failed HALF_OPEN probe re-opens it with the
+    cooldown escalated by ``cooldown_factor`` (capped at
+    ``max_cooldown_s``), so a persistently degenerate session converges to
+    one probe solve per ``max_cooldown_s``.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 10.0
+    cooldown_factor: float = 2.0
+    max_cooldown_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if not (math.isfinite(self.cooldown_s) and self.cooldown_s > 0):
+            raise ConfigurationError("cooldown_s must be finite and > 0")
+        if not (math.isfinite(self.cooldown_factor)
+                and self.cooldown_factor >= 1.0):
+            raise ConfigurationError("cooldown_factor must be >= 1")
+        if not (math.isfinite(self.max_cooldown_s)
+                and self.max_cooldown_s >= self.cooldown_s):
+            raise ConfigurationError("max_cooldown_s must be >= cooldown_s")
+
+
+class CircuitBreaker:
+    """CLOSED → OPEN → HALF_OPEN breaker over structural solve failures."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+    STATES = (CLOSED, OPEN, HALF_OPEN)
+
+    def __init__(self, config: Optional[BreakerConfig] = None, key: str = ""):
+        self.config = config or BreakerConfig()
+        self.key = key
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_t: Optional[float] = None
+        self._cooldown_s = self.config.cooldown_s
+
+    def allow(self, t: float) -> bool:
+        """May a solve attempt run at stream time ``t``?
+
+        While OPEN, returns False (work is shed) until the cooldown
+        elapses, at which point the breaker moves to HALF_OPEN and admits
+        a single probe attempt; the probe's outcome (via
+        :meth:`record_success` / :meth:`record_failure`) decides whether
+        the circuit closes or re-opens.
+        """
+        if self.state == self.OPEN:
+            if t - self._opened_t >= self._cooldown_s:
+                self.state = self.HALF_OPEN
+                perf.count("service.breaker_probes")
+                return True
+            return False
+        return True
+
+    def record_success(self, t: float) -> None:
+        """A solve succeeded: close the circuit and reset escalation."""
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            perf.count("service.breaker_closes")
+        self.state = self.CLOSED
+        self._opened_t = None
+        self._cooldown_s = self.config.cooldown_s
+
+    def record_failure(self, t: float) -> bool:
+        """A structural failure at ``t``; returns True if the circuit opened."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe failed: re-open with an escalated cooldown.
+            self._cooldown_s = min(
+                self._cooldown_s * self.config.cooldown_factor,
+                self.config.max_cooldown_s,
+            )
+            self._open(t)
+            return True
+        if (self.state == self.CLOSED
+                and self.consecutive_failures >= self.config.failure_threshold):
+            self._open(t)
+            return True
+        return False
+
+    def _open(self, t: float) -> None:
+        self.state = self.OPEN
+        self._opened_t = t
+        self.trips += 1
+        perf.count("service.breaker_trips")
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            "format": BREAKER_CHECKPOINT_FORMAT,
+            "key": self.key,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "opened_t": self._opened_t,
+            "cooldown_s": self._cooldown_s,
+        }
+
+    @classmethod
+    def restore(
+        cls, cp: Dict[str, Any], config: Optional[BreakerConfig] = None
+    ) -> "CircuitBreaker":
+        if not isinstance(cp, dict) or cp.get("format") != BREAKER_CHECKPOINT_FORMAT:
+            raise DataQualityError("unsupported breaker checkpoint")
+        if cp["state"] not in cls.STATES:
+            raise DataQualityError(f"unknown breaker state {cp['state']!r}")
+        breaker = cls(config, key=str(cp["key"]))
+        breaker.state = cp["state"]
+        breaker.consecutive_failures = int(cp["consecutive_failures"])
+        breaker.trips = int(cp["trips"])
+        opened = cp["opened_t"]
+        breaker._opened_t = None if opened is None else float(opened)
+        breaker._cooldown_s = float(cp["cooldown_s"])
+        return breaker

@@ -1,0 +1,102 @@
+"""Bounded ingestion buffers with an explicit, observable overflow policy.
+
+A streaming tracker that buffers scans unboundedly dies slowly under burst
+traffic; one that drops silently lies about its inputs. These buffers do
+neither: capacity is fixed at construction, overflow policy is explicit
+(*drop-oldest* — the newest measurement is always the most valuable for a
+tracker), and every shed sample is counted locally, counted into
+:mod:`repro.perf` (``service.shed.<name>``) and logged (first shed per
+buffer at WARNING, the rest at DEBUG so a sustained storm cannot flood the
+log).
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from typing import (
+    Any, Callable, Deque, Generic, Iterable, Iterator, List, TypeVar,
+)
+
+from repro import perf
+from repro.errors import ConfigurationError
+
+__all__ = ["DROP_OLDEST", "BoundedBuffer"]
+
+logger = logging.getLogger("repro.service")
+
+#: The only overflow policy implemented: evict the oldest buffered item.
+DROP_OLDEST = "drop-oldest"
+
+T = TypeVar("T")
+
+
+class BoundedBuffer(Generic[T]):
+    """A fixed-capacity FIFO that sheds the oldest item on overflow."""
+
+    def __init__(self, maxlen: int, name: str = "buffer"):
+        if maxlen < 1:
+            raise ConfigurationError("buffer maxlen must be >= 1")
+        self.maxlen = int(maxlen)
+        self.name = name
+        self.policy = DROP_OLDEST
+        self.shed = 0
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.maxlen
+
+    def append(self, item: T) -> None:
+        """Add one item, shedding the oldest when at capacity."""
+        if len(self._items) >= self.maxlen:
+            self._items.popleft()
+            self.shed += 1
+            perf.count(f"service.shed.{self.name}")
+            level = logging.WARNING if self.shed == 1 else logging.DEBUG
+            logger.log(
+                level,
+                "buffer %r full (maxlen=%d): shed oldest sample "
+                "(%d shed so far, policy=%s)",
+                self.name, self.maxlen, self.shed, self.policy,
+            )
+        self._items.append(item)
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.append(item)
+
+    def items(self) -> List[T]:
+        """A snapshot list, oldest first."""
+        return list(self._items)
+
+    def drop_while(self, pred: "Callable[[T], bool]") -> int:
+        """Evict leading items matching ``pred`` (time-based aging, not shed).
+
+        Returns the number evicted. Aged-out items are *expected* attrition
+        (they left the estimation window) and are deliberately not counted
+        as shed — shed means capacity pressure.
+        """
+        n = 0
+        while self._items and pred(self._items[0]):
+            self._items.popleft()
+            n += 1
+        return n
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def stats(self) -> "dict[str, Any]":
+        return {
+            "name": self.name,
+            "len": len(self._items),
+            "maxlen": self.maxlen,
+            "shed": self.shed,
+            "policy": self.policy,
+        }

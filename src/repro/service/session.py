@@ -1,0 +1,404 @@
+"""One supervised per-beacon tracking session over a live scan stream.
+
+A :class:`TrackingSession` is the temporal half of robustness: where
+:meth:`LocBLE.estimate <repro.core.pipeline.LocBLE.estimate>` hardens one
+*batch* against dirty inputs, the session hardens a *lifetime* of batches
+against the stream-level pathologies real deployments exhibit — multi-minute
+scan gaps, standstill observers whose geometry cannot solve, solve storms
+after bursty loss. It owns:
+
+* a bounded, drop-oldest RSS buffer (:mod:`repro.service.buffers`);
+* the solve loop: periodic :class:`~repro.core.pipeline.LocBLE` regressions
+  over a sliding window, retried with exponential backoff on transient
+  errors and circuit-broken on repeated
+  :class:`~repro.errors.DegenerateGeometryError`
+  (:mod:`repro.service.breaker`);
+* a :class:`~repro.core.tracking.BeaconTracker` Kalman filter fusing
+  accepted fixes and coasting through gaps;
+* the :class:`~repro.service.health.HealthMachine` summarizing it all.
+
+Everything is checkpointable: :meth:`TrackingSession.checkpoint` emits a
+JSON-safe dict from which :meth:`TrackingSession.restore` resumes
+**bit-identically** — the same future ingest/step sequence yields the same
+``TrackState`` sequence, verified continuously by :mod:`repro.sim.soak`.
+
+Frame caveat: each solve's measurement frame is anchored at the start of its
+IMU window, so fixes stay mutually consistent only while the window covers
+the whole walk (the paper's measurement-walk use case). Once stream time
+exceeds ``window_s`` the anchor slides; the supervision machinery is
+unaffected, but absolute track coordinates are then only window-relative.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro import perf
+from repro.core.pipeline import LocBLE
+from repro.core.tracking import BeaconTracker, TrackState
+from repro.errors import (
+    ConfigurationError,
+    DataQualityError,
+    DegenerateGeometryError,
+    EstimationError,
+    InsufficientDataError,
+)
+from repro.service.breaker import (
+    BackoffConfig,
+    BreakerConfig,
+    CircuitBreaker,
+    ExponentialBackoff,
+)
+from repro.service.buffers import BoundedBuffer
+from repro.service.health import HealthConfig, HealthMachine, SessionState
+from repro.types import ImuTrace, LocationEstimate, RssiSample, RssiTrace
+
+__all__ = ["SessionConfig", "SessionSnapshot", "TrackingSession"]
+
+#: Checkpoint schema version written by :meth:`TrackingSession.checkpoint`.
+SESSION_CHECKPOINT_FORMAT = 1
+
+#: A pipeline factory builds the (stateless-per-solve) estimation pipeline a
+#: restored session runs on; it must be deterministic for bit-identical
+#: resume. The default is repair-mode LocBLE — streams are dirty by nature.
+PipelineFactory = Callable[[], LocBLE]
+
+
+def default_pipeline_factory() -> LocBLE:
+    return LocBLE(sanitize="repair")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Supervision policy for one tracking session.
+
+    ``window_s`` bounds the sliding RSS/IMU solve window; ``solve_period_s``
+    the cadence of regression attempts; ``min_confidence`` the residual-test
+    confidence below which an accepted fix still counts as *degraded*.
+    ``rss_buffer`` caps buffered scans (drop-oldest beyond it).
+    ``process_accel_std`` / ``default_fix_std`` parameterize the Kalman
+    tracker; nested configs drive the health machine, circuit breaker and
+    retry backoff.
+    """
+
+    window_s: float = 60.0
+    solve_period_s: float = 2.0
+    min_confidence: float = 0.1
+    rss_buffer: int = 1024
+    min_imu_samples: int = 16
+    process_accel_std: float = 0.5
+    default_fix_std: float = 2.0
+    health: HealthConfig = field(default_factory=HealthConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    backoff: BackoffConfig = field(default_factory=BackoffConfig)
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.window_s) and self.window_s > 0):
+            raise ConfigurationError("window_s must be finite and > 0")
+        if not (math.isfinite(self.solve_period_s) and self.solve_period_s > 0):
+            raise ConfigurationError("solve_period_s must be finite and > 0")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ConfigurationError("min_confidence must be in [0, 1]")
+        if self.rss_buffer < 8:
+            raise ConfigurationError("rss_buffer must be >= 8")
+        if self.min_imu_samples < 2:
+            raise ConfigurationError("min_imu_samples must be >= 2")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SessionConfig":
+        d = dict(d)
+        return cls(
+            health=HealthConfig(**d.pop("health")),
+            breaker=BreakerConfig(**d.pop("breaker")),
+            backoff=BackoffConfig(**d.pop("backoff")),
+            **d,
+        )
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """What one session looks like after a :meth:`TrackingSession.step`."""
+
+    beacon_id: str
+    t: float
+    state: str
+    breaker_state: str
+    fix_age_s: float
+    track: Optional[TrackState]
+    estimate: Optional[LocationEstimate]
+    buffered: int
+    shed: int
+
+
+class TrackingSession:
+    """Supervised tracking of one beacon over incrementally arriving scans."""
+
+    def __init__(
+        self,
+        beacon_id: str,
+        config: Optional[SessionConfig] = None,
+        pipeline_factory: PipelineFactory = default_pipeline_factory,
+    ):
+        self.beacon_id = beacon_id
+        self.config = config or SessionConfig()
+        self._pipeline_factory = pipeline_factory
+        self.pipeline = pipeline_factory()
+        self.tracker = self._new_tracker()
+        self.health = HealthMachine(self.config.health)
+        self.breaker = CircuitBreaker(self.config.breaker, key=beacon_id)
+        self.backoff = ExponentialBackoff(self.config.backoff, key=beacon_id)
+        self.rss = BoundedBuffer[RssiSample](
+            self.config.rss_buffer, name=f"rss.{beacon_id}"
+        )
+        self.last_solve_t: Optional[float] = None
+        self.last_estimate: Optional[LocationEstimate] = None
+        self._last_env_change_t: Optional[float] = None
+        self.counters: Dict[str, int] = {
+            "solves_attempted": 0,
+            "solves_shed": 0,
+            "solves_skipped_nodata": 0,
+            "solves_degenerate": 0,
+            "solves_transient_failures": 0,
+            "fixes_accepted": 0,
+            "fixes_degraded": 0,
+            "tracks_dropped": 0,
+        }
+
+    def _new_tracker(self) -> BeaconTracker:
+        return BeaconTracker(
+            process_accel_std=self.config.process_accel_std,
+            default_fix_std=self.config.default_fix_std,
+        )
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, samples: Iterable[RssiSample]) -> int:
+        """Buffer scan samples for this beacon; returns how many were taken.
+
+        Non-finite timestamps are refused at the door (counted, not raised):
+        a poisoned timestamp would corrupt the time-windowing that every
+        later decision depends on. RSSI values are *not* screened here — the
+        repair-mode pipeline sanitizes them per solve, and dropping them
+        early would hide the degradation from the sanitization report.
+        """
+        taken = 0
+        for s in samples:
+            if not math.isfinite(s.timestamp):
+                self._count("ingest_rejected_nonfinite_t")
+                perf.count("service.ingest_rejected")
+                continue
+            self.rss.append(s)
+            taken += 1
+        return taken
+
+    # -- the supervised solve loop ------------------------------------------
+
+    def step(self, t: float, imu: ImuTrace) -> SessionSnapshot:
+        """Advance the session to stream time ``t``.
+
+        Runs at most one solve attempt (respecting the solve period, the
+        circuit breaker and the retry backoff), updates the health machine,
+        and returns a snapshot whose ``track`` is the Kalman belief at ``t``
+        — coasted via ``predict`` when no fresh fix was accepted. Never
+        raises on data: every failure mode is a typed, counted, supervised
+        event. Caller bugs (non-finite ``t``) still raise.
+        """
+        if not math.isfinite(t):
+            raise ConfigurationError("step time must be finite")
+
+        self._age_out(t)
+        due = (
+            self.last_solve_t is None
+            or t - self.last_solve_t >= self.config.solve_period_s
+        )
+        if due:
+            window = self._window(t)
+            imu_window = self._imu_window(imu, t)
+            if (len(window) < self.pipeline.estimator.min_samples
+                    or len(imu_window) < self.config.min_imu_samples):
+                self._count("solves_skipped_nodata")
+            elif not (self.breaker.allow(t) and self.backoff.ready(t)):
+                self._count("solves_shed")
+                perf.count("service.solves_shed")
+            else:
+                self._attempt_solve(t, window, imu_window)
+
+        prev_state = self.health.state
+        self.health.on_tick(t)
+        if (self.health.state == SessionState.LOST
+                and prev_state != SessionState.LOST):
+            # The coasted belief stopped meaning anything; drop the track
+            # so a later re-acquisition starts from the fresh fix.
+            self.tracker = self._new_tracker()
+            self.last_estimate = None
+            self._count("tracks_dropped")
+            perf.count("service.tracks_dropped")
+
+        return self._snapshot(t)
+
+    def _attempt_solve(
+        self, t: float, window: RssiTrace, imu_window: ImuTrace
+    ) -> None:
+        self._count("solves_attempted")
+        perf.count("service.solves_attempted")
+        try:
+            est = self.pipeline.estimate(window, imu_window)
+            self.tracker.update(t, est)
+        except DegenerateGeometryError:
+            self._count("solves_degenerate")
+            perf.count("service.solves_degenerate")
+            self.breaker.record_failure(t)
+        except (DataQualityError, InsufficientDataError, EstimationError):
+            self._count("solves_transient_failures")
+            perf.count("service.solves_transient_failures")
+            self.backoff.on_failure(t)
+        else:
+            self.breaker.record_success(t)
+            self.backoff.reset()
+            self.last_estimate = est
+            good = self._fix_quality(est)
+            self.health.on_fix(t, good)
+            self._count("fixes_accepted")
+            perf.count("service.fixes_accepted")
+            if not good:
+                self._count("fixes_degraded")
+                perf.count("service.fixes_degraded")
+        finally:
+            self.last_solve_t = t
+
+    def _fix_quality(self, est: LocationEstimate) -> bool:
+        """Is this accepted fix *good* (vs merely usable)?
+
+        Driven by the estimate's confidence and its
+        :class:`~repro.robustness.EstimateDiagnostics`: a fallback result or
+        a fresh EnvAware regression restart marks the fix degraded — the
+        regression is warming up again and its output is not yet trusted.
+        """
+        diag = est.diagnostics
+        if diag is not None and getattr(diag, "fallback", None) is not None:
+            return False
+        env_restart = False
+        changes = tuple(getattr(diag, "env_changes", ()) or ()) if diag else ()
+        if changes:
+            newest = max(changes)
+            if (self._last_env_change_t is None
+                    or newest > self._last_env_change_t):
+                env_restart = True
+                self._last_env_change_t = newest
+        if env_restart:
+            return False
+        return est.confidence >= self.config.min_confidence
+
+    # -- windows -------------------------------------------------------------
+
+    def _age_out(self, t: float) -> None:
+        horizon = t - self.config.window_s
+        self.rss.drop_while(lambda s: s.timestamp < horizon)
+
+    def _window(self, t: float) -> RssiTrace:
+        return RssiTrace([s for s in self.rss if s.timestamp <= t])
+
+    def _imu_window(self, imu: ImuTrace, t: float) -> ImuTrace:
+        ts = [s.timestamp for s in imu.samples]
+        lo = bisect_left(ts, t - self.config.window_s)
+        hi = bisect_left(ts, t)
+        return ImuTrace(imu.samples[lo:hi])
+
+    # -- reporting -----------------------------------------------------------
+
+    def _snapshot(self, t: float) -> SessionSnapshot:
+        track: Optional[TrackState] = None
+        if (self.tracker.initialized
+                and self.health.state != SessionState.LOST):
+            track = self.tracker.predict(t)
+        return SessionSnapshot(
+            beacon_id=self.beacon_id,
+            t=t,
+            state=self.health.state,
+            breaker_state=self.breaker.state,
+            fix_age_s=self.health.fix_age(t),
+            track=track,
+            estimate=self.last_estimate,
+            buffered=len(self.rss),
+            shed=self.rss.shed,
+        )
+
+    def _count(self, name: str) -> None:
+        self.counters[name] = self.counters.get(name, 0) + 1
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """The complete session state as a JSON-safe dict.
+
+        Covers the Kalman state/covariance, the RSS ring buffer, breaker and
+        backoff state, the health machine, counters, and the solve schedule
+        — everything needed for :meth:`restore` to continue bit-identically.
+        """
+        return {
+            "format": SESSION_CHECKPOINT_FORMAT,
+            "beacon_id": self.beacon_id,
+            "config": self.config.to_dict(),
+            "tracker": self.tracker.checkpoint(),
+            "health": self.health.checkpoint(),
+            "breaker": self.breaker.checkpoint(),
+            "backoff": self.backoff.checkpoint(),
+            "rss": [[s.timestamp, s.rssi, s.channel] for s in self.rss],
+            "rss_shed": self.rss.shed,
+            "last_solve_t": self.last_solve_t,
+            "last_env_change_t": self._last_env_change_t,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        cp: Dict[str, Any],
+        pipeline_factory: PipelineFactory = default_pipeline_factory,
+    ) -> "TrackingSession":
+        """Rebuild a session from a :meth:`checkpoint` dict.
+
+        ``pipeline_factory`` must rebuild the same estimation pipeline the
+        checkpointed session ran (pipelines hold trained models and are not
+        serialized); the default repair-mode factory matches the default
+        construction path.
+        """
+        if not isinstance(cp, dict) or cp.get("format") != SESSION_CHECKPOINT_FORMAT:
+            raise DataQualityError("unsupported session checkpoint")
+        session = cls(
+            str(cp["beacon_id"]),
+            config=SessionConfig.from_dict(cp["config"]),
+            pipeline_factory=pipeline_factory,
+        )
+        session.tracker = BeaconTracker.restore(cp["tracker"])
+        session.health = HealthMachine.restore(
+            cp["health"], session.config.health
+        )
+        session.breaker = CircuitBreaker.restore(
+            cp["breaker"], session.config.breaker
+        )
+        session.backoff = ExponentialBackoff.restore(
+            cp["backoff"], session.config.backoff
+        )
+        for row in cp["rss"]:
+            t, rssi, channel = row
+            session.rss.append(
+                RssiSample(float(t), float(rssi), session.beacon_id,
+                           int(channel))
+            )
+        session.rss.shed = int(cp["rss_shed"])
+        last = cp["last_solve_t"]
+        session.last_solve_t = None if last is None else float(last)
+        env_t = cp["last_env_change_t"]
+        session._last_env_change_t = None if env_t is None else float(env_t)
+        session.counters.update(
+            {str(k): int(v) for k, v in cp["counters"].items()}
+        )
+        perf.count("service.restores")
+        return session

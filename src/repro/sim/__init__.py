@@ -13,6 +13,7 @@ from repro.sim.faults import (
 from repro.sim.montecarlo import TrialSummary, empirical_cdf, stationary_trials, summarize
 from repro.sim.parallel import TrialResult, effective_workers, run_trials
 from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
+from repro.sim.soak import SoakConfig, SoakResult, long_walk, run_soak
 from repro.sim.simulator3d import Measurement3D, Simulator3D, ramp_profile
 from repro.sim.traces import (
     imu_trace_from_dict,
@@ -31,6 +32,7 @@ __all__ = [
     "FaultModel", "degradation_sweep", "inject_bursty_loss",
     "inject_clock_faults", "inject_nonfinite", "inject_outages",
     "inject_spikes",
+    "SoakConfig", "SoakResult", "long_walk", "run_soak",
     "imu_trace_from_dict",
     "imu_trace_to_dict", "load_session", "rssi_trace_from_dict",
     "rssi_trace_to_dict", "save_session",

@@ -512,3 +512,88 @@ class TestNeverCrashUndiagnosed:
         except ReproError:
             return
         assert np.isfinite(fit.position.x)
+
+
+# -- property tests: the streaming service layer -----------------------------
+
+service_fault_plan = st.lists(
+    st.sampled_from(["ok", "degenerate", "transient"]),
+    min_size=1, max_size=12,
+)
+
+
+def _scripted_service(script):
+    from tests.test_service import _ScriptedPipeline
+
+    from repro.service import (
+        BackoffConfig, ServiceConfig, SessionConfig, TrackingService,
+    )
+    cfg = ServiceConfig(session=SessionConfig(
+        solve_period_s=1.0, min_imu_samples=2,
+        backoff=BackoffConfig(jitter_frac=0.0),
+    ))
+    return TrackingService(
+        cfg, pipeline_factory=lambda: _ScriptedPipeline(list(script)))
+
+
+class TestServiceNeverCrashUndiagnosed:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(trace_strategy, st.integers(min_value=1, max_value=8))
+    def test_service_never_raises_untyped_on_dirty_scans(self, trace, steps):
+        # Arbitrary dirty scans through the REAL repair-mode pipeline: the
+        # service must absorb every composition without an untyped escape.
+        from repro.service import TrackingService
+
+        svc = TrackingService()
+        imu = walking_imu()
+        try:
+            svc.ingest_scans(
+                RssiSample(s.timestamp, s.rssi, "b", s.channel)
+                for s in trace.samples
+            )
+            svc.ingest_imu(imu.samples)
+            for k in range(1, steps + 1):
+                svc.step(float(k))
+        except ReproError as exc:  # typed escapes are also forbidden here
+            raise AssertionError(
+                f"service raised on data: {type(exc).__name__}: {exc}"
+            ) from exc
+        stats = svc.stats()
+        assert stats["sessions"] in (0, 1)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(service_fault_plan, st.integers(min_value=1, max_value=6))
+    def test_checkpoint_resume_bit_identical_any_fault_plan(
+            self, plan, cut):
+        # For ANY solve-outcome schedule, killing the service mid-stream and
+        # restoring from its JSON checkpoint must continue bit-identically.
+        import json
+
+        from tests.test_service import _ScriptedPipeline, feed_service
+
+        from repro.service import TrackingService
+
+        steps = len(plan) + 4
+        cut = min(cut, steps - 1)
+        full = _scripted_service(plan)
+        part = _scripted_service(plan)
+        for k in range(1, cut + 1):
+            feed_service(full, float(k))
+            feed_service(part, float(k))
+        calls = part.sessions["a"].pipeline.calls if part.sessions else 0
+        rest = plan[min(calls, len(plan) - 1):] or plan[-1:]
+        resumed = TrackingService.restore(
+            json.loads(json.dumps(part.checkpoint())),
+            pipeline_factory=lambda: _ScriptedPipeline(rest),
+        )
+        for k in range(cut + 1, steps + 1):
+            a = feed_service(full, float(k))
+            b = feed_service(resumed, float(k))
+            assert sorted(a) == sorted(b)
+            for bid in a:
+                assert (a[bid].state, a[bid].breaker_state, a[bid].track,
+                        a[bid].fix_age_s, a[bid].buffered) == (
+                    b[bid].state, b[bid].breaker_state, b[bid].track,
+                    b[bid].fix_age_s, b[bid].buffered)

@@ -1,0 +1,716 @@
+"""Tests for the supervised streaming tracking service (repro.service)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.tracking import BeaconTracker
+from repro.errors import (
+    ConfigurationError,
+    DataQualityError,
+    DegenerateGeometryError,
+    EstimationError,
+    InsufficientDataError,
+)
+from repro.service import (
+    BackoffConfig,
+    BoundedBuffer,
+    BreakerConfig,
+    CircuitBreaker,
+    ExponentialBackoff,
+    HealthConfig,
+    HealthMachine,
+    ServiceConfig,
+    SessionConfig,
+    SessionState,
+    TrackingService,
+    TrackingSession,
+)
+from repro.types import (
+    ImuSample,
+    ImuTrace,
+    LocationEstimate,
+    RssiSample,
+    Vec2,
+)
+
+
+def fix(x=1.0, y=2.0, std=0.5, confidence=0.9):
+    return LocationEstimate(
+        position=Vec2(x, y), confidence=confidence, position_std=std
+    )
+
+
+# -- BeaconTracker hardening (regression) ------------------------------------
+
+
+class TestTrackerInputHardening:
+    def test_nan_timestamp_rejected_typed(self):
+        tr = BeaconTracker()
+        tr.update(0.0, fix())
+        with pytest.raises(DataQualityError, match="timestamp"):
+            tr.update(float("nan"), fix())
+        # The poisoned call must not have advanced the filter clock.
+        assert tr.predict(1.0).time == 1.0
+
+    def test_inf_timestamp_rejected(self):
+        tr = BeaconTracker()
+        with pytest.raises(DataQualityError):
+            tr.update(float("inf"), fix())
+        assert not tr.initialized
+
+    def test_nonfinite_fix_position_rejected(self):
+        tr = BeaconTracker()
+        tr.update(0.0, fix())
+        before = tr.state()
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(DataQualityError, match="position"):
+                tr.update(1.0, fix(x=bad))
+        after = tr.state()
+        assert after.position.x == before.position.x
+        assert np.isfinite(after.position_std)
+
+    def test_nan_predict_time_rejected(self):
+        tr = BeaconTracker()
+        tr.update(0.0, fix())
+        with pytest.raises(DataQualityError):
+            tr.predict(float("nan"))
+
+    def test_integer_position_std_honoured(self):
+        # An int (or numpy scalar) std must be used, not silently replaced
+        # by default_fix_std.
+        sharp = BeaconTracker(default_fix_std=50.0)
+        sharp.update(0.0, fix(std=1))
+        sharp.update(1.0, LocationEstimate(Vec2(3.0, 2.0), position_std=1))
+        vague = BeaconTracker(default_fix_std=50.0)
+        vague.update(0.0, fix(std=50.0))
+        vague.update(1.0, LocationEstimate(Vec2(3.0, 2.0), position_std=50.0))
+        # The sharp (std=1) track moves much closer to the new fix.
+        assert sharp.state().position.x > vague.state().position.x
+
+    def test_numpy_scalar_std_honoured(self):
+        a = BeaconTracker()
+        a.update(0.0, fix(std=np.float64(0.5)))
+        b = BeaconTracker()
+        b.update(0.0, fix(std=0.5))
+        assert a.state().position_std == b.state().position_std
+
+    def test_nonpositive_std_falls_back(self):
+        tr = BeaconTracker(default_fix_std=2.0)
+        tr.update(0.0, fix(std=-1.0))
+        ref = BeaconTracker(default_fix_std=2.0)
+        ref.update(0.0, fix(std=2.0))
+        assert tr.state().position_std == ref.state().position_std
+
+    def test_covariance_stays_symmetric_psd(self):
+        # Joseph form: tiny-std fixes must not break symmetry/PSD.
+        tr = BeaconTracker()
+        tr.update(0.0, fix(std=1e-6))
+        for k in range(1, 60):
+            tr.update(float(k), fix(x=0.01 * k, std=1e-6))
+        p = tr._p
+        assert np.allclose(p, p.T)
+        assert np.linalg.eigvalsh(p).min() >= -1e-12
+
+    def test_out_of_order_fix_still_typed(self):
+        tr = BeaconTracker()
+        tr.update(5.0, fix())
+        with pytest.raises(EstimationError):
+            tr.update(4.0, fix())
+
+
+class TestTrackerCheckpoint:
+    def test_json_roundtrip_is_bit_identical(self):
+        tr = BeaconTracker()
+        tr.update(0.0, fix())
+        tr.update(1.5, fix(x=1.4, y=2.2, std=0.7))
+        cp = json.loads(json.dumps(tr.checkpoint()))
+        restored = BeaconTracker.restore(cp)
+        a, b = tr.predict(3.0), restored.predict(3.0)
+        assert a == b
+
+    def test_resume_matches_uninterrupted(self):
+        fixes = [(float(k), fix(x=0.3 * k, y=2.0 - 0.1 * k, std=0.8))
+                 for k in range(8)]
+        full = BeaconTracker()
+        for t, est in fixes:
+            full.update(t, est)
+        head = BeaconTracker()
+        for t, est in fixes[:4]:
+            head.update(t, est)
+        resumed = BeaconTracker.restore(
+            json.loads(json.dumps(head.checkpoint())))
+        for t, est in fixes[4:]:
+            resumed.update(t, est)
+        assert full.state() == resumed.state()
+
+    def test_uninitialized_roundtrip(self):
+        tr = BeaconTracker.restore(BeaconTracker().checkpoint())
+        assert not tr.initialized
+
+    def test_bad_checkpoints_rejected(self):
+        with pytest.raises(DataQualityError):
+            BeaconTracker.restore({"format": 99})
+        cp = BeaconTracker().checkpoint()
+        cp["x"] = [1.0, 2.0]  # wrong shape
+        cp["p"] = [[1.0]]
+        cp["t"] = 0.0
+        with pytest.raises(DataQualityError):
+            BeaconTracker.restore(cp)
+        cp2 = BeaconTracker().checkpoint()
+        cp2["x"] = [float("nan")] * 4
+        cp2["p"] = np.eye(4).tolist()
+        cp2["t"] = 0.0
+        with pytest.raises(DataQualityError, match="non-finite"):
+            BeaconTracker.restore(cp2)
+
+
+# -- health machine ----------------------------------------------------------
+
+
+class TestHealthMachine:
+    def test_lifecycle_decay_path(self):
+        hm = HealthMachine(HealthConfig(stale_after_s=5.0, lost_after_s=20.0))
+        assert hm.state == SessionState.ACQUIRING
+        hm.on_tick(100.0)  # no fix yet: acquiring never decays
+        assert hm.state == SessionState.ACQUIRING
+        hm.on_fix(100.0, good=True)
+        assert hm.state == SessionState.HEALTHY
+        hm.on_tick(104.0)
+        assert hm.state == SessionState.HEALTHY
+        hm.on_tick(106.0)
+        assert hm.state == SessionState.STALE
+        hm.on_tick(121.0)
+        assert hm.state == SessionState.LOST
+        # One good fix re-acquires even from LOST.
+        hm.on_fix(130.0, good=True)
+        assert hm.state == SessionState.HEALTHY
+
+    def test_degraded_fixes_and_recovery_streak(self):
+        hm = HealthMachine(HealthConfig(recover_after=2))
+        hm.on_fix(0.0, good=True)
+        hm.on_fix(1.0, good=False)
+        assert hm.state == SessionState.DEGRADED
+        hm.on_fix(2.0, good=True)
+        assert hm.state == SessionState.DEGRADED  # streak of 1 < 2
+        hm.on_fix(3.0, good=True)
+        assert hm.state == SessionState.HEALTHY
+
+    def test_degraded_fix_does_not_acquire(self):
+        hm = HealthMachine()
+        hm.on_fix(0.0, good=False)
+        assert hm.state == SessionState.ACQUIRING
+        assert hm.fix_age(10.0) == float("inf")
+
+    def test_dwell_accounting(self):
+        hm = HealthMachine(HealthConfig(stale_after_s=4.0))
+        hm.on_fix(2.0, good=True)
+        hm.on_tick(10.0)  # STALE at 10
+        d = hm.dwell(12.0)
+        assert d[SessionState.ACQUIRING] == pytest.approx(2.0)
+        assert d[SessionState.HEALTHY] == pytest.approx(8.0)
+        assert d[SessionState.STALE] == pytest.approx(2.0)
+
+    def test_checkpoint_roundtrip(self):
+        hm = HealthMachine(HealthConfig(stale_after_s=3.0))
+        hm.on_fix(1.0, good=True)
+        hm.on_fix(2.0, good=False)
+        hm.on_tick(9.0)
+        cp = json.loads(json.dumps(hm.checkpoint()))
+        restored = HealthMachine.restore(cp, hm.config)
+        assert restored.state == hm.state
+        assert restored.dwell() == hm.dwell()
+        assert restored.transitions == hm.transitions
+        # Both continue identically.
+        hm.on_tick(120.0)
+        restored.on_tick(120.0)
+        assert restored.state == hm.state == SessionState.LOST
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthConfig(stale_after_s=0.0)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(stale_after_s=10.0, lost_after_s=5.0)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(recover_after=0)
+        with pytest.raises(DataQualityError):
+            HealthMachine.restore({"format": 1, "state": "BOGUS"})
+
+
+# -- breaker and backoff -----------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def cfg(self):
+        return BreakerConfig(failure_threshold=3, cooldown_s=10.0,
+                             cooldown_factor=2.0, max_cooldown_s=30.0)
+
+    def test_trips_after_threshold_and_sheds(self):
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0):
+            assert br.allow(t)
+            br.record_failure(t)
+        assert br.state == CircuitBreaker.CLOSED
+        br.record_failure(2.0)
+        assert br.state == CircuitBreaker.OPEN and br.trips == 1
+        assert not br.allow(5.0)  # shedding during cooldown
+
+    def test_half_open_probe_success_closes(self):
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0, 2.0):
+            br.record_failure(t)
+        assert br.allow(12.0)  # cooldown elapsed: single probe admitted
+        assert br.state == CircuitBreaker.HALF_OPEN
+        br.record_success(12.0)
+        assert br.state == CircuitBreaker.CLOSED
+        assert br.consecutive_failures == 0
+
+    def test_failed_probe_escalates_cooldown(self):
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0, 2.0):
+            br.record_failure(t)
+        assert br.allow(12.0)
+        br.record_failure(12.0)  # probe fails: cooldown 10 -> 20
+        assert br.state == CircuitBreaker.OPEN
+        assert not br.allow(22.0)  # 10 s later: still open
+        assert br.allow(32.0)  # 20 s later: next probe
+        br.record_failure(32.0)  # 20 -> 30 (capped at max_cooldown_s)
+        br.record_failure(100.0)
+        assert br._cooldown_s == 30.0
+
+    def test_success_resets_escalation(self):
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0, 2.0):
+            br.record_failure(t)
+        br.allow(12.0)
+        br.record_failure(12.0)
+        br.allow(32.0)
+        br.record_success(32.0)
+        assert br._cooldown_s == self.cfg().cooldown_s
+
+    def test_checkpoint_roundtrip_mid_open(self):
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0, 2.0):
+            br.record_failure(t)
+        cp = json.loads(json.dumps(br.checkpoint()))
+        restored = CircuitBreaker.restore(cp, br.config)
+        assert restored.state == CircuitBreaker.OPEN
+        assert restored.allow(5.0) == br.allow(5.0) is False
+        assert restored.allow(12.0) == br.allow(12.0) is True
+
+    def test_bad_checkpoint_rejected(self):
+        with pytest.raises(DataQualityError):
+            CircuitBreaker.restore({"format": 1, "state": "exploded"})
+
+
+class TestExponentialBackoff:
+    def test_delays_grow_and_cap(self):
+        bo = ExponentialBackoff(
+            BackoffConfig(base_s=1.0, factor=2.0, max_s=8.0, jitter_frac=0.0),
+            key="b0",
+        )
+        assert [bo.delay_for(k) for k in (1, 2, 3, 4, 5)] == [
+            1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_is_deterministic_per_key(self):
+        cfg = BackoffConfig(jitter_frac=0.5)
+        a = ExponentialBackoff(cfg, key="beacon-7")
+        b = ExponentialBackoff(cfg, key="beacon-7")
+        c = ExponentialBackoff(cfg, key="beacon-8")
+        delays_a = [a.delay_for(k) for k in range(1, 6)]
+        assert delays_a == [b.delay_for(k) for k in range(1, 6)]
+        assert delays_a != [c.delay_for(k) for k in range(1, 6)]
+        base = BackoffConfig(jitter_frac=0.0)
+        for k, d in enumerate(delays_a, start=1):
+            raw = ExponentialBackoff(base, key="beacon-7").delay_for(k)
+            assert raw * 0.5 <= d <= raw * 1.5
+
+    def test_ready_schedule_and_reset(self):
+        bo = ExponentialBackoff(
+            BackoffConfig(base_s=2.0, jitter_frac=0.0), key="b")
+        assert bo.ready(0.0)
+        bo.on_failure(0.0)
+        assert not bo.ready(1.0)
+        assert bo.ready(2.0)
+        bo.reset()
+        assert bo.attempt == 0 and bo.ready(0.0)
+
+    def test_checkpoint_roundtrip(self):
+        bo = ExponentialBackoff(BackoffConfig(), key="b")
+        bo.on_failure(5.0)
+        bo.on_failure(7.0)
+        restored = ExponentialBackoff.restore(
+            json.loads(json.dumps(bo.checkpoint())), bo.config)
+        assert restored.attempt == bo.attempt
+        assert restored.next_ready_t == bo.next_ready_t
+        # Future schedules stay identical (same hash key).
+        assert restored.on_failure(9.0) == bo.on_failure(9.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffConfig(base_s=0.0)
+        with pytest.raises(ConfigurationError):
+            BackoffConfig(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffConfig(max_s=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffConfig(jitter_frac=1.0)
+
+
+# -- bounded buffers ---------------------------------------------------------
+
+
+class TestBoundedBuffer:
+    def test_drop_oldest_and_shed_count(self):
+        buf = BoundedBuffer(3, name="t")
+        buf.extend([1, 2, 3])
+        assert buf.shed == 0 and buf.full
+        buf.append(4)
+        assert buf.items() == [2, 3, 4]
+        assert buf.shed == 1
+
+    def test_shed_counts_into_perf(self):
+        perf.reset()
+        buf = BoundedBuffer(2, name="perfcase")
+        buf.extend([1, 2, 3, 4])
+        assert perf.snapshot()["counters"]["service.shed.perfcase"] == 2
+
+    def test_first_shed_logged_at_warning(self, caplog):
+        buf = BoundedBuffer(1, name="loud")
+        with caplog.at_level("DEBUG", logger="repro.service"):
+            buf.extend([1, 2, 3])
+        levels = [r.levelname for r in caplog.records]
+        assert levels == ["WARNING", "DEBUG"]
+
+    def test_drop_while_is_not_shed(self):
+        buf = BoundedBuffer(10, name="age")
+        buf.extend([1, 2, 3, 9])
+        assert buf.drop_while(lambda v: v < 5) == 3
+        assert buf.items() == [9]
+        assert buf.shed == 0  # aging out is expected attrition
+
+    def test_invalid_maxlen(self):
+        with pytest.raises(ConfigurationError):
+            BoundedBuffer(0)
+
+
+# -- tracking session (stub pipeline for failure injection) ------------------
+
+
+class _StubEstimator:
+    min_samples = 3
+
+
+class _ScriptedPipeline:
+    """A pipeline whose solve outcomes follow a script.
+
+    Entries are "ok", "degenerate" or "transient"; the script's last entry
+    repeats forever.
+    """
+
+    def __init__(self, script):
+        self.estimator = _StubEstimator()
+        self.script = list(script)
+        self.calls = 0
+
+    def estimate(self, trace, imu):
+        action = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        if action == "degenerate":
+            raise DegenerateGeometryError("scripted: geometry degenerate")
+        if action == "transient":
+            raise InsufficientDataError("scripted: transient failure")
+        t = trace.samples[-1].timestamp
+        return fix(x=0.1 * t, y=1.0, std=0.5, confidence=0.9)
+
+
+def scripted_session(script, beacon_id="b", **config_kwargs):
+    cfg = SessionConfig(
+        solve_period_s=1.0, min_imu_samples=2,
+        breaker=BreakerConfig(failure_threshold=3, cooldown_s=5.0,
+                              cooldown_factor=2.0, max_cooldown_s=20.0),
+        backoff=BackoffConfig(base_s=1.0, factor=2.0, max_s=8.0,
+                              jitter_frac=0.0),
+        **config_kwargs,
+    )
+    return TrackingSession(
+        beacon_id, config=cfg,
+        pipeline_factory=lambda: _ScriptedPipeline(script),
+    )
+
+
+def feed(session, t):
+    """One tick: three fresh scans plus enough IMU, then step."""
+    session.ingest([
+        RssiSample(t - 0.3, -60.0, session.beacon_id, 37),
+        RssiSample(t - 0.2, -61.0, session.beacon_id, 38),
+        RssiSample(t - 0.1, -60.5, session.beacon_id, 39),
+    ])
+    imu = ImuTrace([ImuSample(t - 0.4 + 0.1 * i, 0.5, 0.0, 0.0)
+                    for i in range(4)])
+    return session.step(t, imu)
+
+
+class TestTrackingSession:
+    def test_happy_path_acquires_and_tracks(self):
+        s = scripted_session(["ok"])
+        snap = feed(s, 1.0)
+        assert snap.state == SessionState.HEALTHY
+        assert snap.track is not None
+        assert s.counters["fixes_accepted"] == 1
+
+    def test_solve_period_respected(self):
+        s = scripted_session(["ok"])
+        feed(s, 1.0)
+        feed(s, 1.5)  # within solve_period_s: no new attempt
+        assert s.counters["solves_attempted"] == 1
+        feed(s, 2.0)
+        assert s.counters["solves_attempted"] == 2
+
+    def test_nonfinite_ingest_rejected_counted(self):
+        s = scripted_session(["ok"])
+        taken = s.ingest([RssiSample(float("nan"), -60.0, "b", 37),
+                          RssiSample(1.0, -60.0, "b", 37)])
+        assert taken == 1
+        assert s.counters["ingest_rejected_nonfinite_t"] == 1
+
+    def test_nonfinite_step_time_is_caller_bug(self):
+        s = scripted_session(["ok"])
+        with pytest.raises(ConfigurationError):
+            s.step(float("nan"), ImuTrace([]))
+
+    def test_breaker_storm_sheds_solve_work(self):
+        # Three degenerate solves trip the breaker; while OPEN the session
+        # sheds attempts instead of burning regressions.
+        s = scripted_session(["degenerate"])
+        for k in range(1, 4):
+            feed(s, float(k))
+        assert s.breaker.state == CircuitBreaker.OPEN
+        attempts_at_trip = s.counters["solves_attempted"]
+        for k in range(4, 8):  # cooldown_s=5: all shed
+            feed(s, float(k))
+        assert s.counters["solves_attempted"] == attempts_at_trip
+        assert s.counters["solves_shed"] == 4
+        assert s.pipeline.calls == attempts_at_trip  # no hidden work
+
+    def test_half_open_probe_recovers(self):
+        s = scripted_session(["degenerate", "degenerate", "degenerate", "ok"])
+        for k in range(1, 4):
+            feed(s, float(k))
+        assert s.breaker.state == CircuitBreaker.OPEN
+        snap = feed(s, 9.0)  # past cooldown: probe runs and succeeds
+        assert s.breaker.state == CircuitBreaker.CLOSED
+        assert snap.state == SessionState.HEALTHY
+
+    def test_breaker_shedding_visible_in_perf(self):
+        perf.reset()
+        s = scripted_session(["degenerate"])
+        for k in range(1, 8):
+            feed(s, float(k))
+        counters = perf.snapshot()["counters"]
+        assert counters["service.breaker_trips"] == 1
+        assert counters["service.solves_shed"] == 4
+        # After the trip, attempted solves stop accruing.
+        assert counters["service.solves_attempted"] == 3
+
+    def test_transient_failures_back_off(self):
+        s = scripted_session(["transient"])
+        feed(s, 1.0)
+        assert s.counters["solves_transient_failures"] == 1
+        assert not s.backoff.ready(1.5)
+        feed(s, 2.0)  # backoff delay 1 s has passed: retried
+        assert s.counters["solves_transient_failures"] == 2
+        # Second delay is 2 s: attempt at 3.0 is shed.
+        feed(s, 3.9)
+        assert s.counters["solves_transient_failures"] == 2
+        assert s.counters["solves_shed"] == 1
+
+    def test_goes_stale_then_lost_and_drops_track(self):
+        s = scripted_session(
+            ["ok", "transient"],
+            health=HealthConfig(stale_after_s=3.0, lost_after_s=10.0),
+        )
+        feed(s, 1.0)
+        assert s.tracker.initialized
+        # Solves keep failing transiently; fix age climbs.
+        snap = s.step(5.0, ImuTrace([]))
+        assert snap.state == SessionState.STALE
+        assert snap.track is not None  # still coasting
+        snap = s.step(20.0, ImuTrace([]))
+        assert snap.state == SessionState.LOST
+        assert snap.track is None
+        assert s.counters["tracks_dropped"] == 1
+        assert not s.tracker.initialized
+
+    def test_degraded_confidence_marks_fix_degraded(self):
+        s = scripted_session(["ok"], min_confidence=0.95)
+        snap = feed(s, 1.0)
+        assert s.counters["fixes_degraded"] == 1
+        assert snap.state == SessionState.ACQUIRING  # degraded can't acquire
+
+    def test_window_ages_out_old_scans(self):
+        s = scripted_session(["ok"], window_s=10.0)
+        s.ingest([RssiSample(0.5, -60.0, "b", 37)])
+        feed(s, 12.0)
+        assert all(x.timestamp >= 2.0 for x in s.rss)
+
+
+class TestSessionCheckpoint:
+    def test_roundtrip_resumes_bit_identical(self):
+        script = ["ok", "transient", "ok", "degenerate", "ok"]
+        full = scripted_session(script)
+        part = scripted_session(script)
+        for k in range(1, 5):
+            feed(full, float(k))
+            feed(part, float(k))
+        cp = json.loads(json.dumps(part.checkpoint()))
+        resumed = TrackingSession.restore(
+            cp, pipeline_factory=lambda: _ScriptedPipeline(script[4:]))
+        later = []
+        for k in range(5, 9):
+            a = feed(full, float(k))
+            b = feed(resumed, float(k))
+            later.append((a, b))
+        for a, b in later:
+            assert (a.t, a.state, a.breaker_state, a.track) == (
+                b.t, b.state, b.breaker_state, b.track)
+        assert resumed.counters == full.counters
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(DataQualityError):
+            TrackingSession.restore({"format": 0})
+
+
+# -- the multi-beacon service ------------------------------------------------
+
+
+def service_with_stub(script=("ok",), **kwargs):
+    cfg = ServiceConfig(
+        session=SessionConfig(
+            solve_period_s=1.0, min_imu_samples=2,
+            backoff=BackoffConfig(jitter_frac=0.0),
+        ),
+        **kwargs,
+    )
+    return TrackingService(
+        cfg, pipeline_factory=lambda: _ScriptedPipeline(list(script)))
+
+
+def feed_service(svc, t, beacon_ids=("a", "b")):
+    svc.ingest_scans([
+        RssiSample(t - off, -60.0, bid, 37)
+        for bid in beacon_ids for off in (0.3, 0.2, 0.1)
+    ])
+    svc.ingest_imu([ImuSample(t - 0.4 + 0.1 * i, 0.5, 0.0, 0.0)
+                    for i in range(4)])
+    return svc.step(t)
+
+
+class TestTrackingService:
+    def test_sessions_created_per_beacon(self):
+        svc = service_with_stub()
+        snaps = feed_service(svc, 1.0)
+        assert sorted(snaps) == ["a", "b"]
+        assert all(s.state == SessionState.HEALTHY for s in snaps.values())
+
+    def test_session_cap_sheds_new_beacons(self):
+        svc = service_with_stub(max_sessions=1)
+        feed_service(svc, 1.0, beacon_ids=("a", "b", "c"))
+        assert len(svc.sessions) == 1
+        assert svc.sessions_shed == 6  # 3 scans each for b and c
+        assert "a" in svc.sessions
+
+    def test_nonfinite_imu_rejected(self):
+        svc = service_with_stub()
+        taken = svc.ingest_imu([ImuSample(float("nan"), 0.0, 0.0, 0.0),
+                                ImuSample(1.0, 0.0, 0.0, 0.0)])
+        assert taken == 1
+
+    def test_nonfinite_step_time_raises(self):
+        svc = service_with_stub()
+        with pytest.raises(ConfigurationError):
+            svc.step(float("inf"))
+
+    def test_stats_aggregates_sessions(self):
+        svc = service_with_stub()
+        feed_service(svc, 1.0)
+        feed_service(svc, 2.0)
+        stats = svc.stats()
+        assert stats["sessions"] == 2
+        assert stats["counters"]["fixes_accepted"] == 4
+        assert set(stats["states"]) == {"a", "b"}
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(imu_window_s=1.0)  # < session window
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_sessions=0)
+
+    def test_checkpoint_roundtrip_bit_identical(self):
+        script = ["ok", "transient", "ok"]
+        full = service_with_stub(script)
+        part = service_with_stub(script)
+        for k in range(1, 4):
+            feed_service(full, float(k))
+            feed_service(part, float(k))
+        cp = json.loads(json.dumps(part.checkpoint()))
+        resumed = TrackingService.restore(
+            cp, pipeline_factory=lambda: _ScriptedPipeline(script[2:]))
+        assert resumed.restores == 1
+        for k in range(4, 8):
+            a = feed_service(full, float(k))
+            b = feed_service(resumed, float(k))
+            assert sorted(a) == sorted(b)
+            for bid in a:
+                assert (a[bid].t, a[bid].state, a[bid].track,
+                        a[bid].fix_age_s) == (
+                    b[bid].t, b[bid].state, b[bid].track, b[bid].fix_age_s)
+
+    def test_bad_checkpoint_rejected(self):
+        with pytest.raises(DataQualityError):
+            TrackingService.restore({"format": -1})
+
+
+# -- end-to-end with the real pipeline ---------------------------------------
+
+
+class TestServiceRealPipeline:
+    def test_real_stream_acquires_and_checkpoints(self):
+        # A genuine simulated walk, streamed in 1 s ticks through the
+        # default repair-mode pipeline.
+        from repro.sim.simulator import BeaconSpec, Simulator
+        from repro.world.scenarios import scenario
+        from repro.world.trajectory import l_shape
+
+        sc = scenario(1)
+        rng = np.random.default_rng(5)
+        sim = Simulator(sc.floorplan, rng)
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                       leg1=2.8, leg2=2.2)
+        rec = sim.simulate(walk, [
+            BeaconSpec("b", position=sc.beacon_position)])
+        scans = rec.rssi_traces["b"].samples
+        imu = rec.observer_imu.trace.samples
+        t_end = math.ceil(max(s.timestamp for s in imu))
+
+        svc = TrackingService(ServiceConfig(
+            session=SessionConfig(solve_period_s=1.0)))
+        snaps = []
+        for k in range(1, t_end + 1):
+            t = float(k)
+            svc.ingest_scans(
+                [s for s in scans if t - 1.0 <= s.timestamp < t])
+            svc.ingest_imu(
+                [s for s in imu if t - 1.0 <= s.timestamp < t])
+            snaps.append(svc.step(t)["b"])
+        assert snaps[-1].state == SessionState.HEALTHY
+        assert snaps[-1].track is not None
+        # And the whole thing survives a JSON kill-and-resume.
+        resumed = TrackingService.restore(
+            json.loads(json.dumps(svc.checkpoint())))
+        a = svc.step(float(t_end + 1))["b"]
+        b = resumed.step(float(t_end + 1))["b"]
+        assert (a.t, a.state, a.track) == (b.t, b.state, b.track)
