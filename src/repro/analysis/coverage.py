@@ -9,7 +9,6 @@ link-budget fade margin, giving deployment planners the audible region.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,6 @@ against simulated packet survival).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.ble.devices import BeaconProfile

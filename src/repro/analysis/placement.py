@@ -9,8 +9,8 @@ submodular coverage and is exactly how integrators plan in practice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

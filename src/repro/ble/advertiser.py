@@ -11,7 +11,7 @@ catches — the source of frequency-selective jitter in raw traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import List
 
 import numpy as np
 

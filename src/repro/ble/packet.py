@@ -16,7 +16,7 @@ import struct
 import uuid as uuid_mod
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 from repro.errors import PacketError
 

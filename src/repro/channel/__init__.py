@@ -1,6 +1,8 @@
 """RF channel substrate: path loss, shadowing, fading, receiver noise."""
 
-from repro.channel.environment import ENV_PROFILES, EnvProfile, EnvRealization, realize_env
+from repro.channel.environment import (
+    ENV_PROFILES, EnvProfile, EnvRealization, realize_env,
+)
 from repro.channel.fading import (
     ADVERTISING_CHANNELS,
     ENV_K_FACTOR_DB,

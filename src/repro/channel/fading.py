@@ -24,7 +24,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.types import EnvClass, Vec2
 
-__all__ = ["RicianFading", "FrequencySelectiveFading", "ENV_K_FACTOR_DB", "ADVERTISING_CHANNELS"]
+__all__ = ["RicianFading", "FrequencySelectiveFading", "ENV_K_FACTOR_DB",
+           "ADVERTISING_CHANNELS"]
 
 #: BLE advertising channels and their carrier frequencies (MHz).
 ADVERTISING_CHANNELS: Dict[int, float] = {37: 2402.0, 38: 2426.0, 39: 2480.0}

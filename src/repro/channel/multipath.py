@@ -18,7 +18,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.channel.fading import ADVERTISING_CHANNELS
 from repro.errors import ConfigurationError

@@ -111,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nan-rate", type=float, default=0.0)
     p.add_argument("--checkpoint-t", type=float, default=None,
                    help="stream time of a mid-run kill-and-resume check")
+    p.add_argument("--events-log", type=str, default=None, metavar="PATH",
+                   help="write the run's structured events as JSON lines "
+                        "(readable by 'repro obs report')")
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect a structured event log (JSON lines)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser("report", help="summarize an event log")
+    p.add_argument("log", type=str, help="path to a JSON-lines event log")
+    p.add_argument("--tail", type=int, default=10,
+                   help="how many newest events to print (0 disables)")
 
     return parser
 
@@ -329,6 +342,7 @@ def _cmd_soak(args) -> int:
             nan_rate=args.nan_rate,
         ),
         checkpoint_t=args.checkpoint_t,
+        events_jsonl=args.events_log,
     ))
     print(f"soak      : {result.duration_s:.0f} s stream, "
           f"{result.ticks} ticks, {args.beacons} beacon(s)")
@@ -353,8 +367,23 @@ def _cmd_soak(args) -> int:
           f"({result.untyped_errors} untyped)")
     for line in result.errors[:5]:
         print(f"  ! {line}")
+    if result.events:
+        total = sum(result.events.values())
+        top = sorted(result.events.items(), key=lambda kv: (-kv[1], kv[0]))
+        shown = ", ".join(f"{name}={n}" for name, n in top[:6])
+        print(f"events    : {total} total ({shown})")
+    if result.events_jsonl:
+        print(f"event log : {result.events_jsonl} "
+              f"(inspect with 'repro obs report')")
     ok = result.untyped_errors == 0 and result.checkpoint_equal is not False
     return 0 if ok else 1
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.report import main as obs_report_main
+
+    argv = [args.log, "--tail", str(args.tail)]
+    return obs_report_main(argv)
 
 
 _COMMANDS = {
@@ -367,6 +396,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "degrade": _cmd_degrade,
     "soak": _cmd_soak,
+    "obs": _cmd_obs,
 }
 
 

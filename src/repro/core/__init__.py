@@ -1,6 +1,8 @@
 """The paper's contribution: EnvAware, ANF, estimation, calibration, navigation."""
 
-from repro.core.ambiguity import DisambiguationResult, LegMeasurement, TwoLegDisambiguator
+from repro.core.ambiguity import (
+    DisambiguationResult, LegMeasurement, TwoLegDisambiguator,
+)
 from repro.core.anf import AdaptiveNoiseFilter
 from repro.core.calibration import CalibratedEstimate, ClusteringCalibrator
 from repro.core.confidence import estimation_confidence

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import product
-from typing import List, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

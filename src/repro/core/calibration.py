@@ -15,9 +15,8 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-import numpy as np
 
 from repro.core.pipeline import LocBLE
 from repro.dtw.segmatch import MatchResult, SegmentMatcher

@@ -24,17 +24,28 @@ def estimation_confidence(residuals: Sequence[float]) -> float:
     """Confidence in [0, 1] for a fit with the given RSS residuals.
 
     Computes the two-sided tail probability of the residual mean μ under
-    ``N(0, σ)`` where σ is the residual standard deviation — the paper's
-    ``P(μ)`` with σ "robust to the change of its mean". A perfectly centred
-    residual cloud scores 1; a mean one σ out scores ≈0.32.
+    ``N(0, σ)`` where σ is a *mean-robust* spread — the paper's ``P(μ)``
+    with σ "robust to the change of its mean". A perfectly centred residual
+    cloud scores 1; a mean one σ out scores ≈0.32.
+
+    σ is ``1.4826 · MAD`` (the Gaussian-consistent median absolute
+    deviation about the median) rather than ``np.std``. The sample standard
+    deviation absorbs the very shift it is supposed to flag: an NLOS
+    transition mid-trace splits the residuals into two offset clusters,
+    inflating ``std`` so much that ``z = |μ|/σ`` stays small and the broken
+    fit scores an unearned high confidence. The MAD of either half-shifted
+    cluster stays near the per-cluster noise, so the shifted mean registers
+    at full strength.
     """
     r = np.asarray(residuals, dtype=float)
     if r.size < 3:
         raise InsufficientDataError("need >= 3 residuals for a confidence")
     mu = float(np.mean(r))
-    sigma = float(np.std(r, ddof=1))
+    mad = float(np.median(np.abs(r - np.median(r))))
+    sigma = 1.4826 * mad
     if sigma < 1e-9:
-        # Zero spread: either a perfect (noise-free) fit or a degenerate one.
+        # Zero robust spread: at least half the residuals are identical —
+        # either a perfect (noise-free) fit or a degenerate one.
         return 1.0 if abs(mu) < 1e-9 else 0.0
     z = abs(mu) / sigma
     return float(math.erfc(z / math.sqrt(2.0)))

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.features import feature_matrix, window_features
 from repro.errors import ConfigurationError, NotFittedError
 from repro.robustness.sanitize import check_trace
@@ -72,7 +73,8 @@ class EnvAwareClassifier:
     scaler: StandardScaler = field(default_factory=StandardScaler)
     _fitted: bool = field(default=False, init=False)
 
-    def fit(self, windows: List[Sequence[float]], labels: Sequence[str]) -> "EnvAwareClassifier":
+    def fit(self, windows: List[Sequence[float]],
+            labels: Sequence[str]) -> "EnvAwareClassifier":
         x = self.scaler.fit_transform(feature_matrix(windows))
         self.classifier.fit(x, np.asarray(labels))
         self._fitted = True
@@ -125,6 +127,13 @@ class EnvironmentMonitor:
         self._pending = label
         self._pending_count += 1
         if self._pending_count >= self.hysteresis:
+            obs.emit(
+                "envaware.change",
+                severity="info",
+                component="envaware",
+                previous=str(self._current),
+                new=str(label),
+            )
             self._current = label
             self._pending = None
             self._pending_count = 0

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import least_squares
 
-from repro import perf
+from repro import obs, perf
 from repro.channel.pathloss import MIN_DISTANCE_M, rss_at
 from repro.errors import (
     DataQualityError,
@@ -62,6 +62,15 @@ class FitResult:
     (straight-leg case, Sec. 5.1); ``gamma``/``n`` the fitted path-loss
     parameters; ``residuals`` the per-sample RSS-domain residuals δRS used
     for the estimation confidence.
+
+    The solver-provenance fields feed :class:`repro.obs.FixProvenance`:
+    ``solver`` names the path that produced the fit, ``n_candidates`` how
+    many initial seeds it refined, ``cov_cond`` the condition number of the
+    Gauss-Newton normal matrix and ``cov_status`` how the position
+    covariance was obtained — ``"ok"`` (trusted), ``"capped"`` (finite but
+    clipped to the 25 m ceiling), ``"rank-deficient"`` (unobservable
+    geometry, std forced to the ceiling), ``"error"`` (factorisation
+    failed), or ``"none"`` (solver computes no covariance).
     """
 
     position: Vec2
@@ -72,6 +81,10 @@ class FitResult:
     mirror: Optional[Vec2] = None
     g: float = float("nan")
     position_std: float = float("nan")
+    solver: str = "none"
+    n_candidates: int = 0
+    cov_cond: Optional[float] = None
+    cov_status: str = "none"
 
     @property
     def rss_rmse(self) -> float:
@@ -184,6 +197,10 @@ class EllipticalEstimator:
             mirror=res.position,
             g=res.g,
             position_std=res.position_std,
+            solver=res.solver,
+            n_candidates=res.n_candidates,
+            cov_cond=res.cov_cond,
+            cov_status=res.cov_status,
         )
         return res, mirror_res
 
@@ -404,22 +421,79 @@ class EllipticalEstimator:
         if fix_h_zero:
             h = 0.0
         total_cost = float(np.sum(np.asarray(sol.fun) ** 2))
-        # Gauss-Newton position covariance: sigma^2 * inv(J^T J), position
-        # block. A near-singular normal matrix (unobservable geometry) maps
-        # to a large-but-finite std so downstream weighting can use 1/var.
-        pos_std = 25.0
+        pos_std, cov_cond, cov_status = self._position_covariance(sol, len(rss))
+        # Report only the data residuals; prior rows stay in total_cost.
+        return (x, h, gamma, n, np.asarray(sol.fun)[: len(rss)], pos_std,
+                cov_cond, cov_status, total_cost)
+
+    #: Position-std ceiling (metres). BLE's usable sensing range is ~15 m
+    #: (Sec. 7.5), so an uncertainty beyond this says only "unobservable".
+    POS_STD_CAP = 25.0
+
+    #: Normal matrices with a worse eigenvalue ratio than this are treated
+    #: as rank-deficient: solving them would report a confidently tiny std
+    #: along a direction the walk geometry never observed.
+    COND_LIMIT = 1e12
+
+    def _position_covariance(
+        self, sol, n_data: int
+    ) -> Tuple[float, Optional[float], str]:
+        """Gauss-Newton position std from ``sigma^2 * inv(J^T J)``.
+
+        Returns ``(pos_std, cond, status)`` with ``status`` as documented on
+        :class:`FitResult`. The conditioning is checked *before* solving:
+        for a rank-deficient normal matrix (e.g. a perfectly straight walk
+        through the beacon, whose lateral column of J vanishes) both a
+        Tikhonov-style ``inv(jtj + eps*I)`` and a pseudo-inverse would
+        return a silently tiny variance in the unobservable direction — the
+        exact failure this layer exists to surface. Such geometry pins the
+        std to :data:`POS_STD_CAP` instead, and callers emit the event.
+        """
+        pos_std = self.POS_STD_CAP
+        cov_cond: Optional[float] = None
         try:
             jtj = sol.jac.T @ sol.jac
-            cov = np.linalg.inv(jtj + 1e-9 * np.eye(jtj.shape[0]))
-            dof = max(len(rss) - 4, 1)
-            sigma_sq = float(np.sum(np.asarray(sol.fun)[: len(rss)] ** 2)) / dof
+            eigs = np.linalg.eigvalsh(jtj)
+            if not (np.all(np.isfinite(eigs)) and eigs[-1] > 0):
+                return pos_std, None, "error"
+            if eigs[0] <= eigs[-1] / self.COND_LIMIT:
+                cov_cond = (float(eigs[-1] / eigs[0]) if eigs[0] > 0
+                            else math.inf)
+                return pos_std, cov_cond, "rank-deficient"
+            cov_cond = float(eigs[-1] / eigs[0])
+            cov = np.linalg.solve(jtj, np.eye(jtj.shape[0]))
+            dof = max(n_data - 4, 1)
+            sigma_sq = float(np.sum(np.asarray(sol.fun)[:n_data] ** 2)) / dof
             var_pos = sigma_sq * (cov[0, 0] + cov[1, 1])
-            if var_pos >= 0 and math.isfinite(var_pos):
-                pos_std = min(math.sqrt(var_pos), 25.0)
+            if not (var_pos >= 0 and math.isfinite(var_pos)):
+                return pos_std, cov_cond, "error"
+            std = math.sqrt(var_pos)
+            if std >= self.POS_STD_CAP:
+                return pos_std, cov_cond, "capped"
+            return std, cov_cond, "ok"
         except np.linalg.LinAlgError:
-            pass
-        # Report only the data residuals; prior rows stay in total_cost.
-        return x, h, gamma, n, np.asarray(sol.fun)[: len(rss)], pos_std, total_cost
+            return pos_std, cov_cond, "error"
+
+    def _report_covariance(self, best: FitResult) -> None:
+        """Make a winning fit's covariance fallback loud (never silent).
+
+        One ``estimator.cov_fallback`` event plus one perf counter tick per
+        fit whose reported ``position_std`` is not the trusted Gauss-Newton
+        value — emitted at the same site so the soak harness can cross-check
+        event volume against the counter exactly.
+        """
+        if best.cov_status in ("ok", "none"):
+            return
+        perf.count("estimator.cov_fallbacks")
+        obs.emit(
+            "estimator.cov_fallback",
+            severity="warning",
+            component="estimator",
+            status=best.cov_status,
+            cond=best.cov_cond,
+            position_std=best.position_std,
+            solver=best.solver,
+        )
 
     def _initial_candidates(
         self, p: np.ndarray, q: np.ndarray, rss: np.ndarray, use_q: bool
@@ -522,6 +596,8 @@ class EllipticalEstimator:
             residuals=resid[best_idx],
             mirror=None if use_q else Vec2(xb, -hb),
             g=float(g[best_idx]),
+            solver="linearized",
+            n_candidates=int(np.sum(valid)),
         )
 
     def _fit_linearized_reference(
@@ -574,11 +650,12 @@ class EllipticalEstimator:
             return self._fit_linearized(p, q, rss, use_q=True)
         best: Optional[FitResult] = None
         best_cost = math.inf
-        for x0, h0, gamma0, n0 in self._initial_candidates(p, q, rss, use_q=True):
+        seeds = self._initial_candidates(p, q, rss, use_q=True)
+        for x0, h0, gamma0, n0 in seeds:
             refined = self._refine(p, q, rss, x0, h0, gamma0, n0)
             if refined is None:
                 continue
-            x, h, gamma, n, resid, pos_std, cost = refined
+            x, h, gamma, n, resid, pos_std, cov_cond, cov_status, cost = refined
             if cost < best_cost:
                 best_cost = cost
                 best = FitResult(
@@ -589,10 +666,15 @@ class EllipticalEstimator:
                     residuals=resid,
                     g=x * x + h * h,
                     position_std=pos_std,
+                    solver="gauss-newton",
+                    n_candidates=len(seeds),
+                    cov_cond=cov_cond,
+                    cov_status=cov_status,
                 )
         if best is None:
             raise DegenerateGeometryError(
                 "no path-loss exponent yielded a valid solve")
+        self._report_covariance(best)
         return best
 
     def _fit_single_axis(
@@ -605,11 +687,12 @@ class EllipticalEstimator:
             return self._fit_linearized(p, q, rss, use_q=False)
         best: Optional[FitResult] = None
         best_cost = math.inf
-        for x0, h0, gamma0, n0 in self._initial_candidates(p, q, rss, use_q=False):
+        seeds = self._initial_candidates(p, q, rss, use_q=False)
+        for x0, h0, gamma0, n0 in seeds:
             refined = self._refine(p, q, rss, x0, abs(h0), gamma0, n0)
             if refined is None:
                 continue
-            x, h, gamma, n, resid, pos_std, cost = refined
+            x, h, gamma, n, resid, pos_std, cov_cond, cov_status, cost = refined
             h = abs(h)  # symmetric problem: canonical solution keeps h >= 0
             if cost < best_cost:
                 best_cost = cost
@@ -622,8 +705,13 @@ class EllipticalEstimator:
                     mirror=Vec2(x, -h),
                     g=x * x + h * h,
                     position_std=pos_std,
+                    solver="gauss-newton",
+                    n_candidates=len(seeds),
+                    cov_cond=cov_cond,
+                    cov_status=cov_status,
                 )
         if best is None:
             raise DegenerateGeometryError(
                 "no path-loss exponent yielded a valid solve")
+        self._report_covariance(best)
         return best

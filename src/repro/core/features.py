@@ -43,7 +43,10 @@ def window_features(values: Sequence[float]) -> np.ndarray:
         raise InsufficientDataError(
             f"need >= {MIN_WINDOW_SAMPLES} samples per window, got {v.size}"
         )
-    mean = float(np.mean(v))
+    # Pairwise summation can land np.mean a few ulp outside [min, max] on
+    # near-constant windows, breaking the order invariants downstream
+    # consumers (and the property tests) rely on — clamp it back in.
+    mean = float(np.clip(np.mean(v), v.min(), v.max()))
     var = float(np.var(v))
     std = float(np.sqrt(var))
     if std > 1e-9:

@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.channel.pathloss import distance_for_rss
 from repro.core.anf import AdaptiveNoiseFilter
 from repro.core.confidence import estimation_confidence
@@ -33,8 +33,8 @@ from repro.errors import (
     EstimationError,
     InsufficientDataError,
 )
-from repro.imu.sensors import SynthesizedImu
 from repro.motion.deadreckoning import MotionTracker
+from repro.obs.provenance import FixProvenance
 from repro.robustness.diagnostics import EstimateDiagnostics
 from repro.robustness.sanitize import (
     SanitizationReport,
@@ -153,9 +153,16 @@ class LocBLE:
         for beacon_id, trace in rssi_traces.items():
             try:
                 out[beacon_id] = self.estimate(trace, observer_imu)
-            except (ConfigurationError, InsufficientDataError):
-                continue
-            except EstimationError:
+            except (ConfigurationError, InsufficientDataError,
+                    EstimationError) as exc:
+                perf.count("pipeline.beacons_skipped")
+                obs.emit(
+                    "pipeline.beacon_skipped",
+                    severity="info",
+                    component="pipeline",
+                    beacon=str(beacon_id),
+                    reason=type(exc).__name__,
+                )
                 continue
         return out
 
@@ -242,6 +249,29 @@ class LocBLE:
         vals = trace.values() if len(trace) else np.empty(0)
         finite = vals[np.isfinite(vals)]
         failure = f"{type(exc).__name__}: {exc}"
+
+        def fallback_provenance(tag: str, n_used: int) -> FixProvenance:
+            dropped = (report.n_nonfinite_dropped
+                       + report.n_implausible_dropped
+                       + report.n_duplicates_collapsed)
+            perf.count("pipeline.fallbacks")
+            obs.emit(
+                "pipeline.fallback",
+                severity="warning",
+                component="pipeline",
+                fallback=tag,
+                failure=failure,
+                n_samples=n_used,
+            )
+            return FixProvenance(
+                solver="fallback",
+                n_samples=n_used,
+                sanitized_dropped=int(dropped),
+                sanitized_repaired=not report.clean,
+                confidence=0.0,
+                fallback=tag,
+            )
+
         if finite.size == 0:
             return LocationEstimate(
                 position=Vec2(float("nan"), float("nan")),
@@ -251,6 +281,7 @@ class LocBLE:
                     fallback="no-data",
                     failure=failure,
                     n_samples_used=0,
+                    provenance=fallback_provenance("no-data", 0),
                 ),
             )
         gamma = self.estimator.gamma_prior
@@ -270,6 +301,7 @@ class LocBLE:
                 fallback="range-only",
                 failure=failure,
                 n_samples_used=int(finite.size),
+                provenance=fallback_provenance("range-only", int(finite.size)),
             ),
         )
 
@@ -325,8 +357,25 @@ class LocBLE:
             # the whole trace rather than regress on a standstill tail.
             span = max(float(np.ptp(p[seg_start:])), float(np.ptp(q[seg_start:])))
             if span < 0.5:
+                obs.emit(
+                    "pipeline.env_restart_suppressed",
+                    severity="debug",
+                    component="pipeline",
+                    segment_start=seg_start,
+                    movement_span_m=span,
+                )
                 seg_start = 0
                 changes = []
+            else:
+                perf.count("pipeline.env_restarts")
+                obs.emit(
+                    "pipeline.env_restart",
+                    severity="info",
+                    component="pipeline",
+                    env=str(env_class),
+                    segment_start=seg_start,
+                    at=changes[-1] if changes else None,
+                )
 
         # Step 3b — adaptive noise filtering on the active regression
         # segment only: filtering across an environment change would smear
@@ -403,17 +452,21 @@ class LocBLE:
         estimator = self.estimator
         if self.use_env_prior and self.use_envaware and self.envaware is not None:
             estimator = estimator.with_environment(ctx.env_class)
-        fit = estimator.fit(ctx.matched_p, ctx.matched_q, ctx.matched_rss)
-        ctx.fit = fit
-        confidence = estimation_confidence(fit.residuals)
+        with obs.span(
+            "estimator.solve", component="pipeline", env=ctx.env_class
+        ) as sp:
+            fit = estimator.fit(ctx.matched_p, ctx.matched_q, ctx.matched_rss)
+            ctx.fit = fit
+            confidence = estimation_confidence(fit.residuals)
+            sp.annotate(solver=fit.solver, cov_status=fit.cov_status,
+                        confidence=confidence)
         ambiguous = (fit.mirror,) if fit.mirror is not None else ()
-        diagnostics = None
-        if ctx.sanitization is not None or ctx.env_changes:
-            diagnostics = EstimateDiagnostics(
-                sanitization=ctx.sanitization,
-                n_samples_used=int(len(ctx.matched_rss)),
-                env_changes=tuple(ctx.env_changes),
-            )
+        diagnostics = EstimateDiagnostics(
+            sanitization=ctx.sanitization,
+            n_samples_used=int(len(ctx.matched_rss)),
+            env_changes=tuple(ctx.env_changes),
+            provenance=self._provenance(ctx, fit, confidence),
+        )
         return LocationEstimate(
             position=fit.position,
             confidence=confidence,
@@ -423,6 +476,34 @@ class LocBLE:
             ambiguous=ambiguous,
             position_std=fit.position_std,
             diagnostics=diagnostics,
+        )
+
+    @staticmethod
+    def _provenance(
+        ctx: EstimationContext, fit: FitResult, confidence: float
+    ) -> FixProvenance:
+        """The pipeline's layer of the per-fix provenance record."""
+        report = ctx.sanitization
+        dropped = repaired = 0
+        if report is not None:
+            dropped = (report.n_nonfinite_dropped
+                       + report.n_implausible_dropped
+                       + report.n_duplicates_collapsed)
+            repaired = not report.clean
+        pos_std = float(fit.position_std)
+        return FixProvenance(
+            solver=fit.solver,
+            n_candidates=fit.n_candidates,
+            cov_cond=fit.cov_cond,
+            cov_status=fit.cov_status,
+            env_class=str(ctx.env_class),
+            env_restarts=len(ctx.env_changes),
+            n_samples=int(len(ctx.matched_rss)),
+            sanitized_dropped=int(dropped),
+            sanitized_repaired=bool(repaired),
+            confidence=float(confidence),
+            position_std=pos_std if math.isfinite(pos_std) else None,
+            fallback=None,
         )
 
     def _segment_by_environment(

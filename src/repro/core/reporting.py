@@ -8,7 +8,6 @@ assembles that from the pipeline's public outputs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 

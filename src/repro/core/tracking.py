@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError, EstimationError
 from repro.types import LocationEstimate, Vec2
 
@@ -81,6 +82,16 @@ class BeaconTracker:
         std = estimate.position_std
         std = float(std) if isinstance(std, numbers.Real) else float("nan")
         if not (math.isfinite(std) and std > 0):
+            # A fix with no usable uncertainty is fused at the default
+            # weight; that substitution changes the track, so count it.
+            perf.count("tracking.default_std_substitutions")
+            obs.emit(
+                "tracking.default_std",
+                severity="debug",
+                component="tracking",
+                given=std,
+                substituted=self.default_fix_std,
+            )
             std = self.default_fix_std
         r = np.eye(2) * std**2
         z = estimate.position.as_array()

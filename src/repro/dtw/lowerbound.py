@@ -10,7 +10,6 @@ claimed ~100x speedup per test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np

@@ -31,7 +31,8 @@ class MagnetometerModel:
     drift_bound_rad: float = math.radians(8.0)  # indoor disturbance cap
     declination_rad: float = 0.0
 
-    def synthesize(self, timestamps: np.ndarray, true_heading: np.ndarray) -> np.ndarray:
+    def synthesize(self, timestamps: np.ndarray,
+                   true_heading: np.ndarray) -> np.ndarray:
         """Reported heading for each sample, wrapped to (-pi, pi]."""
         timestamps = np.asarray(timestamps, dtype=float)
         true_heading = np.asarray(true_heading, dtype=float)

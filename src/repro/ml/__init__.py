@@ -10,7 +10,9 @@ from repro.ml.kernels import (
     rbf_kernel,
 )
 from repro.ml.metrics import accuracy, confusion_matrix, precision_recall_f1
-from repro.ml.model_selection import cross_val_accuracy, k_fold_indices, train_test_split
+from repro.ml.model_selection import (
+    cross_val_accuracy, k_fold_indices, train_test_split,
+)
 from repro.ml.preprocessing import StandardScaler
 from repro.ml.svm import LinearSVM, MultiClassSVM
 from repro.ml.tree import DecisionTreeClassifier

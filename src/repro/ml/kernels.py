@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 
-__all__ = ["linear_kernel", "rbf_kernel", "poly_kernel", "KernelSVM", "MultiClassKernelSVM"]
+__all__ = ["linear_kernel", "rbf_kernel", "poly_kernel", "KernelSVM",
+           "MultiClassKernelSVM"]
 
 Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
 

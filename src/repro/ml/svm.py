@@ -57,11 +57,18 @@ class LinearSVM:
                     b += eta * y[i]
                 else:
                     w = (1.0 - eta * self.lam) * w
-                # Pegasos projection step keeps ||w|| <= 1/sqrt(lam).
-                norm = np.linalg.norm(w)
+                # Pegasos projection keeps the solution inside the ball the
+                # optimum provably lives in. The bias is part of that
+                # solution: projecting w alone leaves b unregularised and
+                # unbounded (it grows without limit on skewed label streams,
+                # silently overruling the features), so project the
+                # augmented vector (w, b) to ||(w, b)|| <= 1/sqrt(lam).
+                norm = np.sqrt(w @ w + b * b)
                 cap = 1.0 / np.sqrt(self.lam)
                 if norm > cap:
-                    w *= cap / norm
+                    scale = cap / norm
+                    w *= scale
+                    b *= scale
         self.weights_ = w
         self.bias_ = b
         return self
@@ -107,6 +114,10 @@ class MultiClassSVM:
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         scores = self.decision_matrix(x)
+        # Ties break deterministically to the lowest class index (argmax is
+        # first-wins), i.e. the smallest label in sort order — a sample
+        # sitting on an exactly symmetric margin always classifies the same
+        # way across runs and platforms. classes_ is sorted at fit time.
         idx = np.argmax(scores, axis=1)
         return np.array([self.classes_[i] for i in idx])
 

@@ -94,7 +94,8 @@ class DecisionTreeClassifier:
                 nl, nr = i + 1, len(ys) - i - 1
                 if nl < self.min_samples_leaf or nr < self.min_samples_leaf:
                     continue
-                impurity = (nl * _gini(left_counts) + nr * _gini(right_counts)) / len(ys)
+                impurity = (nl * _gini(left_counts)
+                            + nr * _gini(right_counts)) / len(ys)
                 if impurity < best[2] - 1e-12:
                     best = (int(f), (xs[i] + xs[i + 1]) / 2.0, impurity)
 

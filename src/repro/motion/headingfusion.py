@@ -9,9 +9,7 @@ absolute) with a small gain — each sensor covering the other's weakness.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ lands near ground truth (the paper reports ~94.77 % distance accuracy).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.motion.stepcounter import DetectedStep
@@ -66,6 +66,7 @@ def walking_distance(
         total += model.length_for_frequency(freq)
     # The first step also covers ground; charge it at the initial rate.
     first_span = times[min(freq_window, len(times) - 1)] - times[0]
-    first_freq = min(freq_window, len(times) - 1) / first_span if first_span > 0 else 1.8
+    first_freq = (min(freq_window, len(times) - 1) / first_span
+                  if first_span > 0 else 1.8)
     total += model.length_for_frequency(first_freq)
     return total

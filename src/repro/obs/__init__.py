@@ -1,0 +1,139 @@
+"""Structured observability for the LocBLE reproduction (:mod:`repro.obs`).
+
+The silent-failure postmortems that motivated this layer all shared one
+shape: a numeric fallback fired (``except LinAlgError: pass``, a capped
+std, a shed sample) and nothing recorded that it had happened. ``repro.obs``
+makes those paths loud without making them fragile — every fallback becomes
+a typed, counted, JSON-serialisable event, and the emitting code path never
+slows down meaningfully or crashes because of telemetry.
+
+Like :mod:`repro.perf`, the module doubles as a process-wide facade::
+
+    from repro import obs
+
+    obs.emit("estimator.cov_fallback", severity="warning",
+             component="estimator", status="rank-deficient", cond=3.2e17)
+
+    with obs.span("pipeline.estimate", beacon="b0") as sp:
+        result = locble.estimate(trace)
+        sp.annotate(confidence=result.confidence)
+
+A bounded :class:`~repro.obs.sinks.RingBufferSink` is always attached, so
+the most recent events are inspectable (``obs.tail()``) even when nothing
+was configured; extra sinks (a :class:`~repro.obs.sinks.JsonLinesSink`
+file, a :class:`~repro.obs.sinks.CountingSink` for tests) attach and detach
+freely. See ``docs/observability.md`` for the event schema and the list of
+events each component emits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.events import SEVERITIES, Event, EventLog
+from repro.obs.provenance import FixProvenance
+from repro.obs.sinks import CountingSink, JsonLinesSink, RingBufferSink
+from repro.obs.spans import SpanHandle, current_trace_id, span_context
+
+__all__ = [
+    "SEVERITIES",
+    "Event",
+    "EventLog",
+    "FixProvenance",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "CountingSink",
+    "SpanHandle",
+    "log",
+    "ring",
+    "emit",
+    "span",
+    "current_trace_id",
+    "add_sink",
+    "remove_sink",
+    "tail",
+    "counts",
+    "drain",
+    "reset",
+    "enable",
+    "disable",
+]
+
+#: The process-wide event log every instrumented module emits into.
+log = EventLog()
+
+#: The always-attached in-memory tail (drained by the soak harness).
+ring: RingBufferSink = log.add_sink(RingBufferSink())
+
+
+def emit(
+    name: str,
+    *,
+    severity: str = "info",
+    component: str = "repro",
+    trace: Optional[str] = None,
+    **fields: Any,
+) -> Optional[Event]:
+    """Emit one event on the default log.
+
+    When no ``trace`` is given, the correlation id of the innermost open
+    :func:`span` (if any) is attached automatically, so leaf emissions
+    inside a solve inherit the solve's id for free.
+    """
+    if trace is None:
+        trace = current_trace_id()
+    return log.emit(
+        name, severity=severity, component=component, trace=trace, **fields
+    )
+
+
+def span(
+    name: str, *, component: str = "repro", **fields: Any
+) -> Iterator[SpanHandle]:
+    """Open a timed, nesting span on the default log (see :mod:`.spans`)."""
+    return span_context(log, name, component=component, **fields)
+
+
+def add_sink(sink: Any) -> Any:
+    """Attach a sink to the default log; returns the sink."""
+    return log.add_sink(sink)
+
+
+def remove_sink(sink: Any) -> bool:
+    """Detach a sink from the default log."""
+    return log.remove_sink(sink)
+
+
+def tail(n: Optional[int] = None) -> List[Event]:
+    """The newest ``n`` events in the default ring (all when ``n`` is None)."""
+    return ring.tail(n)
+
+
+def counts() -> Dict[str, int]:
+    """Event volume per name currently buffered in the default ring."""
+    return ring.counts()
+
+
+def drain() -> List[Event]:
+    """Remove and return everything buffered in the default ring."""
+    return ring.drain()
+
+
+def reset() -> None:
+    """Detach every sink, restart numbering, re-attach a fresh default ring.
+
+    Test isolation helper — mirrors :func:`repro.perf.reset`.
+    """
+    global ring
+    log.reset()
+    log.enabled = True
+    ring = log.add_sink(RingBufferSink())
+
+
+def enable() -> None:
+    log.enable()
+
+
+def disable() -> None:
+    """Stop emitting (sinks stay attached; spans still time into perf)."""
+    log.disable()

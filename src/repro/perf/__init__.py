@@ -33,6 +33,7 @@ __all__ = [
     "record",
     "profiled",
     "snapshot",
+    "counter_value",
     "reset",
     "enable",
     "disable",
@@ -47,6 +48,7 @@ count = registry.count
 record = registry.record
 profiled = registry.profiled
 snapshot = registry.snapshot
+counter_value = registry.counter_value
 reset = registry.reset
 enable = registry.enable
 disable = registry.disable

@@ -130,6 +130,15 @@ class PerfRegistry:
                 "counters": dict(sorted(self._counters.items())),
             }
 
+    def counter_value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if it never fired).
+
+        Cheaper than :meth:`snapshot` when a test or the observability
+        layer only needs to cross-check a single counter.
+        """
+        with self._lock:
+            return self._counters.get(name, 0)
+
     def reset(self) -> None:
         """Drop all accumulated timers and counters."""
         with self._lock:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.provenance import FixProvenance
 from repro.robustness.sanitize import SanitizationReport
 
 __all__ = ["EstimateDiagnostics"]
@@ -32,6 +33,11 @@ class EstimateDiagnostics:
     changes that restarted the regression — streaming supervisors
     (:mod:`repro.service`) treat a fresh restart as a degraded-quality
     signal because the regression is warming up again.
+
+    ``provenance`` is the :class:`repro.obs.FixProvenance` record the
+    pipeline assembled for this estimate (solver facts included); streaming
+    sessions enrich it with their stream-layer fields and emit it as the
+    ``fix.provenance`` event.
     """
 
     sanitization: Optional[SanitizationReport] = None
@@ -39,6 +45,7 @@ class EstimateDiagnostics:
     failure: Optional[str] = None
     n_samples_used: int = 0
     env_changes: Tuple[float, ...] = ()
+    provenance: Optional[FixProvenance] = None
 
     @property
     def full_pipeline(self) -> bool:

@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError
 
 __all__ = [
@@ -190,6 +190,8 @@ class CircuitBreaker:
             if t - self._opened_t >= self._cooldown_s:
                 self.state = self.HALF_OPEN
                 perf.count("service.breaker_probes")
+                obs.emit("breaker.probe", severity="debug",
+                         component="service", key=self.key, t=t)
                 return True
             return False
         return True
@@ -199,6 +201,8 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         if self.state != self.CLOSED:
             perf.count("service.breaker_closes")
+            obs.emit("breaker.close", severity="info",
+                     component="service", key=self.key, t=t)
         self.state = self.CLOSED
         self._opened_t = None
         self._cooldown_s = self.config.cooldown_s
@@ -225,6 +229,15 @@ class CircuitBreaker:
         self._opened_t = t
         self.trips += 1
         perf.count("service.breaker_trips")
+        obs.emit(
+            "breaker.trip",
+            severity="warning",
+            component="service",
+            key=self.key,
+            t=t,
+            consecutive_failures=self.consecutive_failures,
+            cooldown_s=self._cooldown_s,
+        )
 
     # -- persistence ---------------------------------------------------------
 

@@ -18,7 +18,7 @@ from typing import (
     Any, Callable, Deque, Generic, Iterable, Iterator, List, TypeVar,
 )
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import ConfigurationError
 
 __all__ = ["DROP_OLDEST", "BoundedBuffer"]
@@ -59,6 +59,15 @@ class BoundedBuffer(Generic[T]):
             self._items.popleft()
             self.shed += 1
             perf.count(f"service.shed.{self.name}")
+            obs.emit(
+                "buffer.shed",
+                severity="warning" if self.shed == 1 else "debug",
+                component="service",
+                buffer=self.name,
+                maxlen=self.maxlen,
+                shed_total=self.shed,
+                policy=self.policy,
+            )
             level = logging.WARNING if self.shed == 1 else logging.DEBUG
             logger.log(
                 level,

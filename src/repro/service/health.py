@@ -31,7 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError
 
 __all__ = ["SessionState", "HealthConfig", "HealthMachine"]
@@ -190,6 +190,17 @@ class HealthMachine:
         self._dwell[self.state] += spent
         perf.record(f"service.dwell.{self.state}", spent)
         perf.count(f"service.transitions.{self.state}->{new_state}")
+        obs.emit(
+            "health.transition",
+            severity=("warning" if new_state in (SessionState.STALE,
+                                                 SessionState.LOST)
+                      else "info"),
+            component="service",
+            t=t,
+            previous=self.state,
+            new=new_state,
+            dwell_s=spent,
+        )
         self.transitions.append((t, self.state, new_state))
         if len(self.transitions) > MAX_TRANSITIONS:
             del self.transitions[: len(self.transitions) - MAX_TRANSITIONS]

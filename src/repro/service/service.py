@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError
 from repro.service.buffers import BoundedBuffer
 from repro.service.session import (
@@ -107,6 +107,14 @@ class TrackingService:
                     perf.count(
                         "service.sessions_shed", len(by_beacon[beacon_id])
                     )
+                    obs.emit(
+                        "service.session_shed",
+                        severity="warning",
+                        component="service",
+                        beacon=str(beacon_id),
+                        samples=len(by_beacon[beacon_id]),
+                        max_sessions=self.config.max_sessions,
+                    )
                     continue
                 session = TrackingSession(
                     beacon_id,
@@ -124,6 +132,12 @@ class TrackingService:
         for s in samples:
             if not math.isfinite(s.timestamp):
                 perf.count("service.ingest_rejected")
+                obs.emit(
+                    "service.imu_rejected",
+                    severity="warning",
+                    component="service",
+                    reason="nonfinite-timestamp",
+                )
                 continue
             self.imu.append(s)
             taken += 1
@@ -237,4 +251,11 @@ class TrackingService:
                 session_cp, pipeline_factory=pipeline_factory
             )
         perf.count("service.service_restores")
+        obs.emit(
+            "service.restored",
+            severity="info",
+            component="service",
+            sessions=len(service.sessions),
+            restores=service.restores,
+        )
         return service

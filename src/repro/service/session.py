@@ -36,7 +36,7 @@ from bisect import bisect_left
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterable, Optional
 
-from repro import perf
+from repro import obs, perf
 from repro.core.pipeline import LocBLE
 from repro.core.tracking import BeaconTracker, TrackState
 from repro.errors import (
@@ -53,6 +53,7 @@ from repro.service.breaker import (
     ExponentialBackoff,
 )
 from repro.service.buffers import BoundedBuffer
+from repro.obs.provenance import FixProvenance
 from repro.service.health import HealthConfig, HealthMachine, SessionState
 from repro.types import ImuTrace, LocationEstimate, RssiSample, RssiTrace
 
@@ -192,6 +193,13 @@ class TrackingSession:
             if not math.isfinite(s.timestamp):
                 self._count("ingest_rejected_nonfinite_t")
                 perf.count("service.ingest_rejected")
+                obs.emit(
+                    "session.ingest_rejected",
+                    severity="warning",
+                    component="service",
+                    beacon=self.beacon_id,
+                    reason="nonfinite-timestamp",
+                )
                 continue
             self.rss.append(s)
             taken += 1
@@ -223,9 +231,28 @@ class TrackingSession:
             if (len(window) < self.pipeline.estimator.min_samples
                     or len(imu_window) < self.config.min_imu_samples):
                 self._count("solves_skipped_nodata")
+                perf.count("service.solves_skipped_nodata")
+                obs.emit(
+                    "session.solve_skipped",
+                    severity="debug",
+                    component="service",
+                    beacon=self.beacon_id,
+                    t=t,
+                    rss_window=len(window),
+                    imu_window=len(imu_window),
+                )
             elif not (self.breaker.allow(t) and self.backoff.ready(t)):
                 self._count("solves_shed")
                 perf.count("service.solves_shed")
+                obs.emit(
+                    "session.solve_shed",
+                    severity="info",
+                    component="service",
+                    beacon=self.beacon_id,
+                    t=t,
+                    breaker_state=self.breaker.state,
+                    backoff_attempt=self.backoff.attempt,
+                )
             else:
                 self._attempt_solve(t, window, imu_window)
 
@@ -239,6 +266,14 @@ class TrackingSession:
             self.last_estimate = None
             self._count("tracks_dropped")
             perf.count("service.tracks_dropped")
+            obs.emit(
+                "session.track_dropped",
+                severity="warning",
+                component="service",
+                beacon=self.beacon_id,
+                t=t,
+                fix_age_s=self.health.fix_age(t),
+            )
 
         return self._snapshot(t)
 
@@ -248,15 +283,34 @@ class TrackingSession:
         self._count("solves_attempted")
         perf.count("service.solves_attempted")
         try:
-            est = self.pipeline.estimate(window, imu_window)
-            self.tracker.update(t, est)
-        except DegenerateGeometryError:
+            with obs.span(
+                "session.solve", component="service", beacon=self.beacon_id
+            ):
+                est = self.pipeline.estimate(window, imu_window)
+                self.tracker.update(t, est)
+        except DegenerateGeometryError as exc:
             self._count("solves_degenerate")
             perf.count("service.solves_degenerate")
+            obs.emit(
+                "session.solve_degenerate",
+                severity="warning",
+                component="service",
+                beacon=self.beacon_id,
+                t=t,
+                error=str(exc),
+            )
             self.breaker.record_failure(t)
-        except (DataQualityError, InsufficientDataError, EstimationError):
+        except (DataQualityError, InsufficientDataError, EstimationError) as exc:
             self._count("solves_transient_failures")
             perf.count("service.solves_transient_failures")
+            obs.emit(
+                "session.solve_transient",
+                severity="warning",
+                component="service",
+                beacon=self.beacon_id,
+                t=t,
+                error=type(exc).__name__,
+            )
             self.backoff.on_failure(t)
         else:
             self.breaker.record_success(t)
@@ -266,11 +320,38 @@ class TrackingSession:
             self.health.on_fix(t, good)
             self._count("fixes_accepted")
             perf.count("service.fixes_accepted")
+            self._emit_provenance(t, est, good)
             if not good:
                 self._count("fixes_degraded")
                 perf.count("service.fixes_degraded")
         finally:
             self.last_solve_t = t
+
+    def _emit_provenance(
+        self, t: float, est: LocationEstimate, good: bool
+    ) -> None:
+        """Complete and emit the fix's provenance record (stream layer).
+
+        Emitted at the same site as the ``service.fixes_accepted`` perf
+        counter, so event volume and counter stay exactly in step — the
+        soak harness asserts on that equality.
+        """
+        prov = getattr(est.diagnostics, "provenance", None)
+        if prov is None:
+            prov = FixProvenance()  # pipeline predates provenance: still loud
+        prov = prov.with_stream(
+            beacon_id=self.beacon_id,
+            stream_t=t,
+            buffered=len(self.rss),
+            shed=self.rss.shed,
+            degraded=not good,
+        )
+        obs.emit(
+            "fix.provenance",
+            severity="info",
+            component="service",
+            **prov.to_fields(),
+        )
 
     def _fix_quality(self, est: LocationEstimate) -> bool:
         """Is this accepted fix *good* (vs merely usable)?
@@ -401,4 +482,12 @@ class TrackingSession:
             {str(k): int(v) for k, v in cp["counters"].items()}
         )
         perf.count("service.restores")
+        obs.emit(
+            "session.restored",
+            severity="info",
+            component="service",
+            beacon=session.beacon_id,
+            buffered=len(session.rss),
+            last_solve_t=session.last_solve_t,
+        )
         return session

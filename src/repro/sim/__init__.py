@@ -10,7 +10,9 @@ from repro.sim.faults import (
     inject_outages,
     inject_spikes,
 )
-from repro.sim.montecarlo import TrialSummary, empirical_cdf, stationary_trials, summarize
+from repro.sim.montecarlo import (
+    TrialSummary, empirical_cdf, stationary_trials, summarize,
+)
 from repro.sim.parallel import TrialResult, effective_workers, run_trials
 from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
 from repro.sim.soak import SoakConfig, SoakResult, long_walk, run_soak

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs, perf
 from repro.errors import ConfigurationError, ReproError
 from repro.service import ServiceConfig, TrackingService
 from repro.service.session import SessionSnapshot
@@ -65,6 +66,10 @@ class SoakConfig:
     #: checkpoint/restore equivalence phase.
     checkpoint_t: Optional[float] = None
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Optional path for a durable JSON-lines event log of the whole run
+    #: (readable by ``python -m repro obs report``). The in-memory event
+    #: accounting in :attr:`SoakResult.events` happens either way.
+    events_jsonl: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.duration_s) and self.duration_s > 0):
@@ -107,6 +112,15 @@ class SoakResult:
     checkpoint_equal: Optional[bool]
     #: First stream time at which the resumed run diverged (None if never).
     divergence_t: Optional[float]
+    #: Structured-event volume by event name over the whole run (drained
+    #: from a run-scoped :class:`repro.obs.RingBufferSink`).
+    events: Dict[str, int] = field(default_factory=dict)
+    #: :mod:`repro.perf` counter deltas over the run — the cross-check
+    #: partner of :attr:`events` (e.g. ``fix.provenance`` events must equal
+    #: the ``service.fixes_accepted`` delta).
+    perf_counters: Dict[str, int] = field(default_factory=dict)
+    #: Where the JSON-lines event log was written (None when not requested).
+    events_jsonl: Optional[str] = None
 
     def states_visited(self, beacon_id: str) -> List[str]:
         """Distinct session states in first-visit order (incl. the start)."""
@@ -241,11 +255,40 @@ def _drive(
 
 
 def run_soak(config: Optional[SoakConfig] = None) -> SoakResult:
-    """Run one seeded soak experiment; see the module docstring."""
+    """Run one seeded soak experiment; see the module docstring.
+
+    The whole run is observed through run-scoped :mod:`repro.obs` sinks: a
+    counting sink whose per-event-name totals land in
+    :attr:`SoakResult.events`, and (with ``events_jsonl`` set) a durable
+    JSON-lines log for ``python -m repro obs report``. The
+    :mod:`repro.perf` counter deltas over the same interval are captured
+    alongside so acceptance tests can cross-check that every fix, shed,
+    breaker trip and covariance fallback is accounted for in both ledgers.
+    """
     config = config or SoakConfig()
     ticks = _build_stream(config)
     errors: List[str] = []
 
+    counting = obs.add_sink(obs.CountingSink())
+    jsonl: Optional[obs.JsonLinesSink] = None
+    if config.events_jsonl is not None:
+        jsonl = obs.add_sink(obs.JsonLinesSink(config.events_jsonl))
+    try:
+        return _run_soak_observed(config, ticks, errors, counting)
+    finally:
+        obs.remove_sink(counting)
+        if jsonl is not None:
+            obs.remove_sink(jsonl)
+            jsonl.close()
+
+
+def _run_soak_observed(
+    config: SoakConfig,
+    ticks,
+    errors: List[str],
+    counting: "obs.CountingSink",
+) -> SoakResult:
+    perf_before = dict(perf.snapshot()["counters"])
     service = TrackingService(config.service)
     checkpoint_json: Optional[str] = None
     if config.checkpoint_t is not None:
@@ -297,6 +340,12 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakResult:
         for beacon_id, sess in sorted(service.sessions.items())
     }
     stats = service.stats()
+    perf_after = perf.snapshot()["counters"]
+    perf_delta = {
+        name: int(count) - int(perf_before.get(name, 0))
+        for name, count in sorted(perf_after.items())
+        if int(count) - int(perf_before.get(name, 0)) > 0
+    }
     return SoakResult(
         duration_s=config.duration_s,
         ticks=len(ticks),
@@ -312,6 +361,9 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakResult:
         ),
         checkpoint_equal=checkpoint_equal,
         divergence_t=divergence_t,
+        events=dict(sorted(counting.by_name.items())),
+        perf_counters=perf_delta,
+        events_jsonl=config.events_jsonl,
     )
 
 

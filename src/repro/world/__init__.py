@@ -7,7 +7,9 @@ from repro.world.builder import (
     store_layout,
 )
 from repro.world.floorplan import Floorplan, LinkState
-from repro.world.geometry import Segment, point_segment_distance, segments_intersect, wrap_angle
+from repro.world.geometry import (
+    Segment, point_segment_distance, segments_intersect, wrap_angle,
+)
 from repro.world.obstacles import MATERIALS, Material, Obstacle, wall
 from repro.world.trajectory import (
     DEFAULT_WALK_SPEED,

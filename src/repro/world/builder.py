@@ -13,7 +13,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.types import Vec2
 from repro.world.floorplan import Floorplan
 from repro.world.obstacles import Obstacle, wall
 

@@ -8,7 +8,7 @@ class is the link in, and how much excess attenuation do blockers add?
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.types import EnvClass, Vec2

@@ -8,7 +8,7 @@ coefficient blockers, p-LOS, from high-coefficient ones, NLOS).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """Tests for the analysis tools, ray-traced multipath and activity detection."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Public-API surface and small remaining units: errors, postures, exports."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.reporting import SessionReport, session_report
+from repro.core.reporting import session_report
 from repro.errors import ConfigurationError
 from repro.sim.simulator import BeaconSpec, Simulator
-from repro.types import EnvClass, ImuTrace, RssiTrace, Vec2
+from repro.types import EnvClass, RssiTrace, Vec2
 from repro.world.builder import (
     apartment_layout,
     office_layout,

@@ -1,10 +1,9 @@
 """Tests for the RF channel substrate."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.channel.environment import ENV_PROFILES, realize_env
@@ -146,7 +145,8 @@ class TestRicianFading:
     def test_for_env_validates(self, rng):
         with pytest.raises(ConfigurationError):
             RicianFading.for_env("SPACE", rng)
-        assert RicianFading.for_env(EnvClass.LOS, rng).k_factor_db == ENV_K_FACTOR_DB[EnvClass.LOS]
+        assert (RicianFading.for_env(EnvClass.LOS, rng).k_factor_db
+                == ENV_K_FACTOR_DB[EnvClass.LOS])
 
 
 class TestFrequencySelectiveFading:

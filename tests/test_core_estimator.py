@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro import obs, perf
 from repro.channel.pathloss import rss_at
 from repro.core.ambiguity import LegMeasurement, TwoLegDisambiguator
 from repro.core.confidence import estimation_confidence
@@ -156,6 +157,77 @@ class TestConfidence:
         base = rng.normal(0, 1, 300)
         confs = [estimation_confidence(base + s) for s in (0.0, 0.5, 1.0, 2.0)]
         assert confs == sorted(confs, reverse=True)
+
+    def test_two_cluster_shift_not_masked_by_scale(self, rng):
+        """Regression: an NLOS transition mid-trace offsets a minority of
+        residuals. The sample std absorbs the offset (z stays ~0.6, an
+        unearned ~0.5 confidence); the MAD scale must flag it."""
+        r = np.concatenate([rng.normal(0.0, 0.5, 140),
+                            rng.normal(8.0, 0.5, 60)])
+        rng.shuffle(r)
+        std_based_z = abs(np.mean(r)) / np.std(r, ddof=1)
+        assert std_based_z < 1.0  # the old statistic would have been blind
+        assert estimation_confidence(r) < 0.05
+
+
+class TestCovarianceConditioning:
+    """Regression: unobservable geometry must cap the position std *loudly*.
+
+    The original covariance used ``inv(J'J + 1e-9 I)`` under a bare
+    ``except LinAlgError: pass`` — a collinear walk produced either a
+    garbage std or a silent 25 m fallback with no record of which. Now the
+    normal matrix is conditioning-checked, the fallback is a typed
+    ``cov_status``, and the winning fit emits one counted
+    ``estimator.cov_fallback`` event.
+    """
+
+    def _fit_straight_walk(self):
+        # Walk straight toward a beacon sitting ON the walk axis: the
+        # cross-track coordinate is unobservable (its Jacobian column
+        # vanishes at the optimum), so the GN normal matrix is singular.
+        ox = np.linspace(0.0, 3.0, 30)
+        dist = np.abs(5.0 - ox)
+        rss = np.array([rss_at(d, -59.0, 2.0) for d in dist])
+        return EllipticalEstimator().fit(-ox, np.zeros(30), rss)
+
+    def test_healthy_walk_reports_trusted_covariance(self):
+        p, q = _l_walk_displacements()
+        est = EllipticalEstimator(gamma_prior=None)
+        r = est.fit(p, q, _rss_for((4.0, 3.0), p, q))
+        assert r.cov_status == "ok"
+        assert r.cov_cond is not None
+        assert r.cov_cond < EllipticalEstimator.COND_LIMIT
+        assert 0.0 < r.position_std < EllipticalEstimator.POS_STD_CAP
+        assert r.solver == "gauss-newton"
+        assert r.n_candidates > 0
+
+    def test_collinear_walk_caps_std_and_types_the_fallback(self):
+        r = self._fit_straight_walk()
+        assert r.cov_status in ("rank-deficient", "capped")
+        assert r.position_std == EllipticalEstimator.POS_STD_CAP
+
+    def test_collinear_fallback_is_evented_and_counted(self):
+        obs.reset()
+        before = perf.counter_value("estimator.cov_fallbacks")
+        self._fit_straight_walk()
+        after = perf.counter_value("estimator.cov_fallbacks")
+        events = [e for e in obs.tail()
+                  if e.name == "estimator.cov_fallback"]
+        assert after - before == 1
+        assert len(events) == 1
+        assert events[0].severity == "warning"
+        assert events[0].fields["status"] in ("rank-deficient", "capped")
+        assert events[0].fields["position_std"] == (
+            EllipticalEstimator.POS_STD_CAP)
+        obs.reset()
+
+    def test_healthy_walk_emits_no_fallback_event(self):
+        obs.reset()
+        p, q = _l_walk_displacements()
+        EllipticalEstimator(gamma_prior=None).fit(
+            p, q, _rss_for((4.0, 3.0), p, q))
+        assert all(e.name != "estimator.cov_fallback" for e in obs.tail())
+        obs.reset()
 
 
 class TestTwoLegDisambiguation:

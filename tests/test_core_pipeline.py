@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.anf import AdaptiveNoiseFilter
-from repro.core.estimator import EllipticalEstimator
 from repro.core.pipeline import LocBLE
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.sim.simulator import BeaconSpec, Simulator

@@ -1,6 +1,5 @@
 """Tests for the 3-D localisation extension (Sec. 9.3) and the barometer."""
 
-import math
 
 import numpy as np
 import pytest

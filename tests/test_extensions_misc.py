@@ -1,7 +1,6 @@
 """Tests for the remaining Sec. 9 extensions: straight-walk mode, crowding,
 Bluetooth 5 profiles, the beacon tracker and the CLI."""
 
-import math
 
 import numpy as np
 import pytest

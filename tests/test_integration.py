@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro import (
     BeaconSpec,
@@ -21,7 +20,6 @@ from repro.baselines.proximity import ProximityZone
 from repro.core.estimator import EllipticalEstimator
 from repro.sim.traces import load_session, save_session
 from repro.world.floorplan import Floorplan
-from repro.world.trajectory import straight_walk
 
 
 def _session(idx=1, seed=0, **kw):

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.ml.forest import RandomForestClassifier
@@ -80,6 +78,28 @@ class TestLinearSVM:
         w2 = LinearSVM(seed=5).fit(x, y).weights_
         assert np.array_equal(w1, w2)
 
+    def test_pegasos_projection_bounds_the_bias(self, rng):
+        """Regression: the projection must cover the augmented (w, b)
+        vector. Projecting w alone leaves the bias unregularised — on a
+        skewed label stream it grows without limit and silently overrules
+        the features."""
+        x = rng.normal(0.0, 0.1, size=(200, 2))
+        y = np.where(np.arange(200) % 20 == 0, -1.0, 1.0)  # 95% positive
+        m = LinearSVM(lam=1.0, epochs=50).fit(x, y)
+        cap = 1.0 / np.sqrt(m.lam)
+        norm = float(np.sqrt(m.weights_ @ m.weights_ + m.bias_**2))
+        assert norm <= cap + 1e-9
+        assert abs(m.bias_) <= cap + 1e-9
+
+    def test_projection_does_not_hurt_separable_fit(self, rng):
+        x = np.vstack([rng.normal(-2, 0.5, (50, 2)),
+                       rng.normal(2, 0.5, (50, 2))])
+        y = np.array([-1.0] * 50 + [1.0] * 50)
+        m = LinearSVM(lam=1e-3).fit(x, y)
+        assert accuracy(y, m.predict(x)) > 0.97
+        cap = 1.0 / np.sqrt(m.lam)
+        assert float(np.sqrt(m.weights_ @ m.weights_ + m.bias_**2)) <= cap
+
 
 class TestMultiClassSVM:
     def test_three_blobs(self, rng):
@@ -95,6 +115,17 @@ class TestMultiClassSVM:
     def test_needs_two_classes(self):
         with pytest.raises(ConfigurationError):
             MultiClassSVM().fit(np.ones((3, 2)), ["a", "a", "a"])
+
+    def test_exact_tie_breaks_to_lowest_label(self, rng, monkeypatch):
+        """Regression: an exactly symmetric margin must classify the same
+        way on every run and platform — argmax is first-wins over the
+        sorted class list, so ties go to the smallest label."""
+        x, y = _blobs(rng)
+        m = MultiClassSVM(epochs=3).fit(x, y)
+        monkeypatch.setattr(
+            m, "decision_matrix", lambda xs: np.zeros((len(xs), 3))
+        )
+        assert list(m.predict(np.zeros((4, 2)))) == ["a"] * 4
 
 
 class TestKernels:

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.ble.devices import BEACONS, PHONES
+from repro.ble.devices import BEACONS
 from repro.errors import ConfigurationError
 from repro.sim.datasets import EnvDatasetBuilder, windows_from_trace
 from repro.sim.simulator import BeaconSpec, Simulator
 from repro.sim.traces import (
     imu_trace_from_dict,
-    imu_trace_to_dict,
     load_session,
     rssi_trace_from_dict,
     rssi_trace_to_dict,
