@@ -27,7 +27,7 @@ import numpy as np
 import pytest
 
 from repro import perf
-from repro.core.estimator import EllipticalEstimator
+from repro.core.estimator import EllipticalEstimator, FitRequest, fit_batch
 from repro.dtw.dtw import _dtw_distance_reference, dtw_distance
 from repro.sim.montecarlo import stationary_trials
 from repro.world.scenarios import scenario
@@ -39,6 +39,21 @@ REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
 TARGET_ESTIMATOR = 3.0
 TARGET_DTW = 5.0
 TARGET_PARALLEL = 2.0
+TARGET_WARM = 5.0
+TARGET_BATCH = 3.0
+
+
+def _parallel_target(cpus: int) -> float:
+    """The pool-speedup bar this host can actually express.
+
+    A process pool's speedup is bounded by physical cores: on >= 4 CPUs we
+    hold the issue's full target; below that the bar scales down, and on a
+    1-CPU host (where the pool can only add overhead) it drops to "no
+    pathological slowdown" rather than hard-failing the bench.
+    """
+    if cpus >= 4:
+        return TARGET_PARALLEL
+    return max(0.2, 0.5 * (cpus - 1))
 
 
 def _best_of(fn: Callable[[], object], repeats: int = 7, number: int = 5) -> float:
@@ -52,9 +67,10 @@ def _best_of(fn: Callable[[], object], repeats: int = 7, number: int = 5) -> flo
     return best
 
 
-def _estimator_workload():
+def _estimator_workload(seed: int = 7, beacon_x: float = 2.0,
+                        beacon_y: float = 2.5):
     """A realistic L-walk regression input: 40 matched samples."""
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(seed)
     n_samples = 40
     # Observer walks an L (2.8 m then 2.2 m); beacon 2.5 m off the path.
     frac = np.linspace(0.0, 1.0, n_samples)
@@ -62,8 +78,7 @@ def _estimator_workload():
     ox = np.where(leg1, frac / 0.56 * 2.8, 2.8)
     oy = np.where(leg1, 0.0, (frac - 0.56) / 0.44 * 2.2)
     p, q = -ox, -oy
-    beacon = np.array([2.0, 2.5])
-    dist = np.hypot(ox - beacon[0], oy - beacon[1])
+    dist = np.hypot(ox - beacon_x, oy - beacon_y)
     rss = -55.0 - 10.0 * 2.2 * np.log10(np.maximum(dist, 0.1))
     rss = rss + rng.normal(0.0, 1.5, n_samples)
     return p, q, rss
@@ -88,6 +103,77 @@ def bench_estimator() -> Dict[str, object]:
         "meets_target": before / after >= TARGET_ESTIMATOR,
         "note": f"{len(est.n_grid)}-point exponent grid, {len(p)} samples, "
                 "batched QR vs per-candidate lstsq loop",
+    }
+
+
+def bench_warm_start() -> Dict[str, object]:
+    """Full cold fit (grid + GN polish) vs the warm-seeded fast path on the
+    next tick's overlapping window."""
+    est = EllipticalEstimator()
+    p, q, rss = _estimator_workload()
+    cold = est.fit(p, q, rss)
+    assert cold.warm is not None, "cold fit must emit a warm state"
+    # The next solve period's window: same geometry, fresh measurement noise.
+    rng = np.random.default_rng(23)
+    rss2 = rss + rng.normal(0.0, 0.4, rss.shape)
+    warm_res = est.fit(p, q, rss2, warm=cold.warm)
+    cold_res = est.fit(p, q, rss2)
+    assert warm_res.warm_started, "warm fast path must engage"
+    assert abs(warm_res.position.x - cold_res.position.x) < 0.5
+    assert abs(warm_res.position.y - cold_res.position.y) < 0.5
+    before = _best_of(lambda: est.fit(p, q, rss2), repeats=3, number=2)
+    after = _best_of(lambda: est.fit(p, q, rss2, warm=cold.warm))
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "target_speedup": TARGET_WARM,
+        "meets_target": before / after >= TARGET_WARM,
+        "note": f"{len(p)}-sample window; cold {len(est.n_grid)}-point grid "
+                "+ GN polish vs 3-seed warm LM refine; positions agree to "
+                f"{abs(warm_res.position.x - cold_res.position.x):.1e} m in x",
+    }
+
+
+def bench_fit_batch(n_sessions: int = 32) -> Dict[str, object]:
+    """One batched kernel for N sessions' warm solves vs the same solves in
+    a sequential Python loop (both through the identical lockstep LM)."""
+    est = EllipticalEstimator()
+    rng = np.random.default_rng(37)
+    requests = []
+    for i in range(n_sessions):
+        p, q, rss = _estimator_workload(
+            seed=100 + i,
+            beacon_x=1.0 + 0.1 * i,
+            beacon_y=1.5 + 0.05 * i,
+        )
+        warm = est.fit(p, q, rss).warm
+        assert warm is not None
+        rss2 = rss + rng.normal(0.0, 0.4, rss.shape)
+        requests.append(FitRequest(p=p, q=q, rss=rss2, warm=warm))
+
+    def sequential():
+        return [est.fit(r.p, r.q, r.rss, warm=r.warm) for r in requests]
+
+    seq = sequential()
+    bat = fit_batch(requests, default_estimator=est)
+    assert all(r.warm_started for r in seq), "all requests must stay warm"
+    for s, b in zip(seq, bat):
+        assert s.position.x == b.position.x and s.position.y == b.position.y
+        assert np.array_equal(s.residuals, b.residuals)
+
+    before = _best_of(sequential, repeats=3, number=3)
+    after = _best_of(lambda: fit_batch(requests, default_estimator=est),
+                     repeats=5, number=3)
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "target_speedup": TARGET_BATCH,
+        "meets_target": before / after >= TARGET_BATCH,
+        "note": f"{n_sessions}-session batch, 40-sample windows; one "
+                "stacked lockstep-LM kernel vs per-session warm fits; "
+                "results verified bit-identical",
     }
 
 
@@ -123,16 +209,18 @@ def bench_parallel() -> Dict[str, object]:
     after = time.perf_counter() - t0
     assert serial == pooled, "parallel sweep must be bit-identical to serial"
     cpus = os.cpu_count() or 1
+    target = _parallel_target(cpus)
     return {
         "before_s": before,
         "after_s": after,
         "speedup": before / after,
-        "target_speedup": TARGET_PARALLEL,
-        "meets_target": before / after >= TARGET_PARALLEL,
+        "target_speedup": target,
+        "meets_target": before / after >= target,
         "note": f"20-seed stationary sweep, 4 workers vs serial on "
-                f"{cpus} CPU(s); results verified bit-identical. On a "
-                "single-CPU host the pool only adds overhead — the target "
-                "presumes >= 4 cores.",
+                f"{cpus} CPU(s); results verified bit-identical. The "
+                "target scales with effective CPUs — on a single-CPU host "
+                "the pool only adds overhead, so the bar is merely 'no "
+                "pathological slowdown'.",
     }
 
 
@@ -140,6 +228,8 @@ def build_report() -> Dict[str, object]:
     perf.reset()
     benches = {
         "estimator_grid_search": bench_estimator(),
+        "estimator_warm_start": bench_warm_start(),
+        "estimator_fit_batch": bench_fit_batch(),
         "dtw_distance_banded": bench_dtw(),
         "parallel_stationary_trials": bench_parallel(),
     }
@@ -167,11 +257,12 @@ def test_perf_hotpaths():
     # The vectorized kernels must actually be faster — by their target
     # factors on the single-process paths (machine-independent).
     assert benches["estimator_grid_search"]["meets_target"], benches
+    assert benches["estimator_warm_start"]["meets_target"], benches
+    assert benches["estimator_fit_batch"]["meets_target"], benches
     assert benches["dtw_distance_banded"]["meets_target"], benches
-    # The pool's speedup is bounded by physical cores; only assert the
-    # target where the hardware can express it.
-    if (os.cpu_count() or 1) >= 4:
-        assert benches["parallel_stationary_trials"]["meets_target"], benches
+    # The pool bench's target is already scaled to what this host's core
+    # count can express (see _parallel_target), so it always asserts.
+    assert benches["parallel_stationary_trials"]["meets_target"], benches
     print(f"\nwrote {path}")
 
 

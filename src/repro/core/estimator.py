@@ -25,9 +25,10 @@ fixed-parameter rangers.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.optimize import least_squares
@@ -39,10 +40,18 @@ from repro.errors import (
     DegenerateGeometryError,
     EstimationError,
     InsufficientDataError,
+    ReproError,
 )
 from repro.types import Vec2
 
-__all__ = ["FitResult", "EllipticalEstimator", "DEFAULT_N_GRID"]
+__all__ = [
+    "FitResult",
+    "FitRequest",
+    "WarmStartState",
+    "EllipticalEstimator",
+    "fit_batch",
+    "DEFAULT_N_GRID",
+]
 
 #: Candidate path-loss exponents searched by Eq. 5's arg-min. Spans every
 #: class in :data:`repro.channel.pathloss.ENV_EXPONENTS` with margin.
@@ -51,6 +60,57 @@ DEFAULT_N_GRID: np.ndarray = np.arange(1.2, 4.51, 0.05)
 #: Fewer matched (displacement, RSS) points than this is refused: the linear
 #: system has 4 unknowns and noise demands real redundancy.
 MIN_SAMPLES = 8
+
+#: Natural log of 10, shared by the analytic warm-start Jacobian.
+_LN10 = math.log(10.0)
+
+#: Gauss-Newton parameter bounds (x, h, Γ, n) — see :meth:`_refine`.
+_GN_LO = np.array([-18.0, -18.0, -95.0, 1.0])
+_GN_HI = np.array([18.0, 18.0, -25.0, 5.0])
+
+
+@dataclass(frozen=True)
+class WarmStartState:
+    """The previous fix's solution, carried forward to warm-start the next.
+
+    Consecutive tracking windows overlap almost entirely, so the previous
+    window's ``(x, h, Γ, n)`` is an excellent Gauss-Newton seed for the next
+    solve — the warm path refines a handful of near-optimum seeds instead
+    of re-running the full exponent-grid cold start. ``rss_rmse`` is the
+    residual scale the warm fit is judged against (a blow-up means the
+    environment changed and the warm basin is stale); ``stream_t`` lets
+    streaming callers age warm states out.
+
+    The state is JSON-serialisable (:meth:`to_dict`/:meth:`from_dict`) and
+    round-trips bit-identically, so it survives session checkpoints.
+    """
+
+    x: float
+    h: float
+    gamma: float
+    n: float
+    rss_rmse: float
+    cov_status: str = "none"
+    n_rows: int = 0
+    use_q: bool = True
+    stream_t: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WarmStartState":
+        return cls(
+            x=float(d["x"]),
+            h=float(d["h"]),
+            gamma=float(d["gamma"]),
+            n=float(d["n"]),
+            rss_rmse=float(d["rss_rmse"]),
+            cov_status=str(d["cov_status"]),
+            n_rows=int(d["n_rows"]),
+            use_q=bool(d["use_q"]),
+            stream_t=None if d.get("stream_t") is None else float(d["stream_t"]),
+        )
 
 
 @dataclass
@@ -85,6 +145,10 @@ class FitResult:
     n_candidates: int = 0
     cov_cond: Optional[float] = None
     cov_status: str = "none"
+    #: Whether this fit was produced by the warm-start fast path, and the
+    #: state the *next* overlapping-window fit should warm-start from.
+    warm_started: bool = False
+    warm: Optional[WarmStartState] = None
 
     @property
     def rss_rmse(self) -> float:
@@ -124,6 +188,16 @@ class EllipticalEstimator:
     #: why the paper's ANF smoothing is critical for it; see the Fig. 5
     #: bench's two-solver comparison.
     refine: bool = True
+    #: Warm-start acceptance: a warm fit whose RSS-domain RMSE exceeds
+    #: ``max(warm_blowup * previous_rmse, warm_floor_db)`` is rejected (the
+    #: environment likely changed under the tracker) and the cold full-grid
+    #: path re-runs, emitting a ``solver.warm_rejected`` event.
+    warm_blowup: float = 2.0
+    warm_floor_db: float = 4.0
+    #: Half-width of the exponent neighbourhood searched by a warm fit —
+    #: roughly one environment class (the LOS/P_LOS/NLOS prior centres sit
+    #: ~0.3 apart), vs the full 67-point cold grid.
+    warm_n_step: float = 0.3
 
     #: Per-environment exponent priors (centres of the class ranges in
     #: :data:`repro.channel.pathloss.ENV_EXPONENTS`).
@@ -164,18 +238,40 @@ class EllipticalEstimator:
         p: Sequence[float],
         q: Sequence[float],
         rss: Sequence[float],
+        warm: Optional[WarmStartState] = None,
+        extra_seeds: Sequence[Tuple[float, float, float, float]] = (),
     ) -> FitResult:
         """Joint fit over both axes (L-shaped or richer movement).
 
         ``p``/``q`` are the relative displacements (target minus observer;
         for a stationary target simply the negated observer movement) and
         ``rss`` the time-aligned filtered RSS readings.
+
+        When ``warm`` carries a usable previous solution the fast path
+        refines it directly (a handful of seeds in a ±``warm_n_step``
+        exponent neighbourhood) instead of re-running the full cold grid;
+        a warm fit whose residuals blow up is rejected — emitting
+        ``solver.warm_rejected`` — and the cold path re-runs, so a stale
+        warm state can degrade latency but never accuracy. ``extra_seeds``
+        adds caller-provided ``(x, h, Γ, n)`` starting points (e.g. from an
+        incremental sliding-window regressor) to the warm seed set.
         """
         p, q, rss = self._validate(p, q, rss)
-        q_informative = float(np.ptp(q)) > 0.3  # metres of lateral motion
-        if not q_informative:
-            return self._fit_single_axis(p, q, rss)
-        return self._fit_joint(p, q, rss)
+        use_q = float(np.ptp(q)) > 0.3  # metres of lateral motion
+        return self._fit_dispatch(p, q, rss, use_q, warm, tuple(extra_seeds))
+
+    def fit_batch(
+        self,
+        requests: Sequence["FitRequest"],
+        return_exceptions: bool = False,
+    ) -> List[Union[FitResult, BaseException]]:
+        """Solve many independent fits, batching their warm-start kernels.
+
+        See the module-level :func:`fit_batch`; this estimator is used for
+        any request that does not carry its own.
+        """
+        return fit_batch(requests, default_estimator=self,
+                         return_exceptions=return_exceptions)
 
     def fit_leg(
         self, a: Sequence[float], rss: Sequence[float]
@@ -188,19 +284,14 @@ class EllipticalEstimator:
         """
         a = np.asarray(a, dtype=float)
         res = self._fit_single_axis(-a, np.zeros_like(a), np.asarray(rss, float))
-        mirror_res = FitResult(
+        res.warm = self._warm_state_from(res, use_q=False, n_rows=len(a))
+        mirror_warm = (dataclasses.replace(res.warm, h=-res.warm.h)
+                       if res.warm is not None else None)
+        mirror_res = dataclasses.replace(
+            res,
             position=res.mirror,
-            n=res.n,
-            gamma=res.gamma,
-            epsilon=res.epsilon,
-            residuals=res.residuals,
             mirror=res.position,
-            g=res.g,
-            position_std=res.position_std,
-            solver=res.solver,
-            n_candidates=res.n_candidates,
-            cov_cond=res.cov_cond,
-            cov_status=res.cov_status,
+            warm=mirror_warm,
         )
         return res, mirror_res
 
@@ -226,6 +317,152 @@ class EllipticalEstimator:
                 "observer barely moved; the regression is unobservable"
             )
         return p, q, rss
+
+    # -- warm-start path ----------------------------------------------------
+
+    def _fit_dispatch(
+        self,
+        p: np.ndarray,
+        q: np.ndarray,
+        rss: np.ndarray,
+        use_q: bool,
+        warm: Optional[WarmStartState],
+        extra_seeds: Tuple[Tuple[float, float, float, float], ...],
+    ) -> FitResult:
+        """Warm fast path when possible, cold full-grid path otherwise."""
+        res: Optional[FitResult] = None
+        if warm is not None and self._warm_usable(warm):
+            res = self._fit_warm(p, q, rss, use_q, warm, extra_seeds)
+        if res is None:
+            res = (self._fit_joint(p, q, rss) if use_q
+                   else self._fit_single_axis(p, q, rss))
+        res.warm = self._warm_state_from(res, use_q, len(p))
+        return res
+
+    def _warm_usable(self, warm: WarmStartState) -> bool:
+        """A warm state worth seeding from: finite, with an in-grid exponent."""
+        vals = (warm.x, warm.h, warm.gamma, warm.n, warm.rss_rmse)
+        if not all(math.isfinite(v) for v in vals):
+            return False
+        if warm.rss_rmse < 0.0:
+            return False
+        grid = np.asarray(self.n_grid, dtype=float)
+        lo, hi = float(grid.min()), float(grid.max())
+        return lo - self.warm_n_step <= warm.n <= hi + self.warm_n_step
+
+    def _warm_seeds(
+        self,
+        warm: WarmStartState,
+        use_q: bool,
+        extra_seeds: Tuple[Tuple[float, float, float, float], ...],
+    ) -> List[Tuple[float, float, float, float]]:
+        """Seed set for a warm fit: previous optimum ± one exponent step.
+
+        Three seeds bracket the previous exponent inside the clipped grid
+        (vs the cold path's ~18), so a drifting environment within one
+        class is tracked without the full grid.
+        """
+        grid = np.asarray(self.n_grid, dtype=float)
+        lo, hi = float(grid.min()), float(grid.max())
+        h0 = warm.h if use_q else abs(warm.h)
+        n0 = float(np.clip(warm.n, lo, hi))
+        n_lo = float(np.clip(warm.n - self.warm_n_step, lo, hi))
+        n_hi = float(np.clip(warm.n + self.warm_n_step, lo, hi))
+        seeds = [(warm.x, h0, warm.gamma, n0),
+                 (warm.x, h0, warm.gamma, n_lo),
+                 (warm.x, h0, warm.gamma, n_hi)]
+        for s in extra_seeds:
+            x0, hh, g0, nn = (float(v) for v in s)
+            if not all(math.isfinite(v) for v in (x0, hh, g0, nn)):
+                continue
+            seeds.append((x0, hh if use_q else abs(hh), g0,
+                          float(np.clip(nn, lo, hi))))
+        return seeds
+
+    def _warm_state_from(
+        self, res: FitResult, use_q: bool, n_rows: int,
+        stream_t: Optional[float] = None,
+    ) -> Optional[WarmStartState]:
+        """The state the *next* overlapping-window fit warm-starts from."""
+        vals = (res.position.x, res.position.y, res.gamma, res.n)
+        if not all(math.isfinite(float(v)) for v in vals):
+            return None
+        rmse = res.rss_rmse
+        if not math.isfinite(rmse):
+            return None
+        return WarmStartState(
+            x=float(res.position.x),
+            h=float(res.position.y),
+            gamma=float(res.gamma),
+            n=float(res.n),
+            rss_rmse=float(rmse),
+            cov_status=res.cov_status,
+            n_rows=int(n_rows),
+            use_q=bool(use_q),
+            stream_t=stream_t,
+        )
+
+    def _warm_reject(
+        self, reason: str, warm: WarmStartState, n_rows: int,
+    ) -> None:
+        """One event plus one counter, same site (soak cross-check parity)."""
+        perf.count("estimator.warm_rejected")
+        obs.emit(
+            "solver.warm_rejected",
+            severity="warning",
+            component="estimator",
+            reason=reason,
+            warm_n=warm.n,
+            warm_rmse=warm.rss_rmse,
+            n_rows=n_rows,
+        )
+
+    def _fit_warm(
+        self,
+        p: np.ndarray,
+        q: np.ndarray,
+        rss: np.ndarray,
+        use_q: bool,
+        warm: WarmStartState,
+        extra_seeds: Tuple[Tuple[float, float, float, float], ...],
+    ) -> Optional[FitResult]:
+        """One warm solve — a batch of one through the shared lockstep
+        kernel, so a sequential warm fit is bit-identical to the same
+        request inside any :func:`fit_batch` group."""
+        if not self.refine:
+            res, reason = self._fit_warm_linearized(p, q, rss, use_q, warm)
+        else:
+            res, reason = _solve_warm_group(
+                [(self, p, q, rss, use_q, warm,
+                  self._warm_seeds(warm, use_q, extra_seeds))]
+            )[0]
+        if res is None:
+            self._warm_reject(reason, warm, len(p))
+            return None
+        return res
+
+    def _fit_warm_linearized(
+        self, p: np.ndarray, q: np.ndarray, rss: np.ndarray,
+        use_q: bool, warm: WarmStartState,
+    ) -> Tuple[Optional[FitResult], str]:
+        """Warm path for the ``refine=False`` pure Eq. 4/5 solver: restrict
+        the grid arg-min to the exponent neighbourhood of the previous fix."""
+        grid = np.asarray(self.n_grid, dtype=float)
+        mask = np.abs(grid - warm.n) <= self.warm_n_step + 1e-9
+        if not np.any(mask):
+            return None, "no exponent neighbourhood"
+        try:
+            res = self._fit_linearized(p, q, rss, use_q, n_values=grid[mask])
+        except DegenerateGeometryError:
+            return None, "degenerate"
+        limit = max(self.warm_blowup * warm.rss_rmse, self.warm_floor_db)
+        rmse = res.rss_rmse
+        if not math.isfinite(rmse) or rmse > limit:
+            return None, "residual blow-up"
+        res.solver = "warm-linearized"
+        res.warm_started = True
+        perf.count("estimator.warm_fits")
+        return res, ""
 
     def _solve_for_n(
         self, p: np.ndarray, q: np.ndarray, rss: np.ndarray, n: float,
@@ -438,6 +675,13 @@ class EllipticalEstimator:
     def _position_covariance(
         self, sol, n_data: int
     ) -> Tuple[float, Optional[float], str]:
+        """Position std from a scipy ``least_squares`` solution object."""
+        return self._covariance_from(
+            np.asarray(sol.jac), np.asarray(sol.fun), n_data)
+
+    def _covariance_from(
+        self, jac: np.ndarray, fun: np.ndarray, n_data: int
+    ) -> Tuple[float, Optional[float], str]:
         """Gauss-Newton position std from ``sigma^2 * inv(J^T J)``.
 
         Returns ``(pos_std, cond, status)`` with ``status`` as documented on
@@ -452,7 +696,7 @@ class EllipticalEstimator:
         pos_std = self.POS_STD_CAP
         cov_cond: Optional[float] = None
         try:
-            jtj = sol.jac.T @ sol.jac
+            jtj = jac.T @ jac
             eigs = np.linalg.eigvalsh(jtj)
             if not (np.all(np.isfinite(eigs)) and eigs[-1] > 0):
                 return pos_std, None, "error"
@@ -463,7 +707,7 @@ class EllipticalEstimator:
             cov_cond = float(eigs[-1] / eigs[0])
             cov = np.linalg.solve(jtj, np.eye(jtj.shape[0]))
             dof = max(n_data - 4, 1)
-            sigma_sq = float(np.sum(np.asarray(sol.fun)[:n_data] ** 2)) / dof
+            sigma_sq = float(np.sum(np.asarray(fun)[:n_data] ** 2)) / dof
             var_pos = sigma_sq * (cov[0, 0] + cov[1, 1])
             if not (var_pos >= 0 and math.isfinite(var_pos)):
                 return pos_std, cov_cond, "error"
@@ -538,7 +782,8 @@ class EllipticalEstimator:
         return seeds
 
     def _fit_linearized(
-        self, p: np.ndarray, q: np.ndarray, rss: np.ndarray, use_q: bool
+        self, p: np.ndarray, q: np.ndarray, rss: np.ndarray, use_q: bool,
+        n_values: Optional[np.ndarray] = None,
     ) -> FitResult:
         """The paper's pure Eq. 4/5 solver: LS per exponent, grid arg-min.
 
@@ -546,9 +791,12 @@ class EllipticalEstimator:
         (:meth:`_solve_grid`), then one pass of array ops for the RSS-domain
         residual of each candidate and the Eq. 5 arg-min. Numerically
         equivalent to :meth:`_fit_linearized_reference` (the original
-        per-candidate loop, kept for tests and benchmarks).
+        per-candidate loop, kept for tests and benchmarks). ``n_values``
+        restricts the searched exponents (the warm path passes the
+        neighbourhood of the previous fix); default is the full grid.
         """
-        n_values = np.asarray(self.n_grid, dtype=float)
+        n_values = np.asarray(
+            self.n_grid if n_values is None else n_values, dtype=float)
         valid, x, h, g, eps = self._solve_grid(p, q, rss, n_values, use_q)
         if not np.any(valid):
             raise DegenerateGeometryError(
@@ -715,3 +963,315 @@ class EllipticalEstimator:
                 "no path-loss exponent yielded a valid solve")
         self._report_covariance(best)
         return best
+
+
+@dataclass
+class FitRequest:
+    """One session's solve inputs for :func:`fit_batch`.
+
+    ``estimator`` overrides the batch's default estimator for this request
+    (e.g. an environment-resolved copy); ``warm``/``extra_seeds`` mirror the
+    corresponding :meth:`EllipticalEstimator.fit` arguments.
+    """
+
+    p: Sequence[float]
+    q: Sequence[float]
+    rss: Sequence[float]
+    warm: Optional[WarmStartState] = None
+    extra_seeds: Tuple[Tuple[float, float, float, float], ...] = ()
+    estimator: Optional[EllipticalEstimator] = None
+
+
+def _warm_residuals(
+    theta: np.ndarray, p: np.ndarray, q: np.ndarray, rss: np.ndarray,
+    gp: np.ndarray, wg: np.ndarray, npr: np.ndarray, wn: np.ndarray,
+) -> np.ndarray:
+    """Stacked RSS-domain + prior residuals, shape ``(B, N + 2)``.
+
+    Row layout matches :meth:`EllipticalEstimator._refine`: N data rows,
+    then the Γ-prior row, then the n-prior row (weight 0 when the prior is
+    absent, so every batch member has the same row count — a requirement
+    for per-slice bit-identical reductions).
+    """
+    x = theta[:, 0:1]
+    h = theta[:, 1:2]
+    gam = theta[:, 2:3]
+    n = theta[:, 3:4]
+    le = np.maximum(np.hypot(x + p, h + q), 0.1)
+    r_data = rss - (gam - 10.0 * n * np.log10(le))
+    r_pg = (wg * (theta[:, 2] - gp))[:, None]
+    r_pn = (wn * (theta[:, 3] - npr))[:, None]
+    return np.concatenate([r_data, r_pg, r_pn], axis=1)
+
+
+def _warm_jacobian(
+    theta: np.ndarray, p: np.ndarray, q: np.ndarray,
+    wg: np.ndarray, wn: np.ndarray,
+) -> np.ndarray:
+    """Analytic Jacobian of :func:`_warm_residuals`, shape ``(B, N+2, 4)``."""
+    n_rows = p.shape[1]
+    x = theta[:, 0:1]
+    h = theta[:, 1:2]
+    n = theta[:, 3:4]
+    dx = x + p
+    dy = h + q
+    l = np.hypot(dx, dy)
+    le = np.maximum(l, 0.1)
+    # Inside the 0.1 m clamp the distance no longer responds to (x, h).
+    coef = np.where(l > 0.1, (10.0 / _LN10) * n / (le * le), 0.0)
+    j = np.zeros((theta.shape[0], n_rows + 2, 4))
+    j[:, :n_rows, 0] = coef * dx
+    j[:, :n_rows, 1] = coef * dy
+    j[:, :n_rows, 2] = -1.0
+    j[:, :n_rows, 3] = 10.0 * np.log10(le)
+    j[:, n_rows, 2] = wg
+    j[:, n_rows + 1, 3] = wn
+    return j
+
+
+def _gn_warm_kernel(
+    theta0: np.ndarray, p: np.ndarray, q: np.ndarray, rss: np.ndarray,
+    gp: np.ndarray, wg: np.ndarray, npr: np.ndarray, wn: np.ndarray,
+    max_iter: int = 60,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lockstep projected Levenberg-Marquardt over a batch of warm seeds.
+
+    Every operation is either elementwise, a reduction along the row axis of
+    a C-contiguous array, or a batched per-slice LAPACK call — the exact set
+    of NumPy operations whose batched results are bit-identical to running
+    each slice alone. Converged (or failed) rows freeze by being removed
+    from the compacted working set and never change again, so a batch of B
+    systems returns bit-identical ``(theta, residuals, cost)`` to B
+    separate batch-of-1 runs — while late iterations only pay for the rows
+    still moving. This is the
+    property :func:`fit_batch` relies on; ``einsum``/``matmul`` reductions
+    are deliberately avoided (their batched forms are *not* per-slice
+    bit-identical).
+    """
+    theta_out = theta0.copy()
+    r_out = _warm_residuals(theta_out, p, q, rss, gp, wg, npr, wn)
+    cost_out = np.sum(r_out * r_out, axis=1)
+    eye = np.eye(4)
+
+    # Compacted working set: rows freeze by being *removed* (their state
+    # scattered back into the full-size outputs), so per-iteration cost
+    # tracks the live count instead of the original batch size. Row-gather
+    # preserves per-slice bit-identity for every op used here — a gathered
+    # subset is a fresh C-contiguous array whose per-row reductions see the
+    # exact same operand layout.
+    idx = np.flatnonzero(np.isfinite(cost_out))
+    theta = theta_out[idx]
+    r = r_out[idx]
+    cost = cost_out[idx]
+    pp, qq, ss = p[idx], q[idx], rss[idx]
+    gpp, wgg, nprr, wnn = gp[idx], wg[idx], npr[idx], wn[idx]
+    lam = np.full(idx.size, 1e-3)
+
+    for _ in range(max_iter):
+        if idx.size == 0:
+            break
+        j = _warm_jacobian(theta, pp, qq, wgg, wnn)
+        jtj = np.sum(j[:, :, :, None] * j[:, :, None, :], axis=1)
+        grad = np.sum(j * r[:, :, None], axis=1)
+        finite = (np.isfinite(jtj).all(axis=(1, 2))
+                  & np.isfinite(grad).all(axis=1))
+        # Non-finite rows solve an identity system (zero step), so one
+        # LAPACK batch serves every row without a bad slice poisoning it.
+        lhs = np.where(finite[:, None, None],
+                       jtj + lam[:, None, None] * eye, eye)
+        rhs = np.where(finite[:, None], grad, 0.0)
+        try:
+            step = np.linalg.solve(lhs, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            break
+        trial = np.clip(theta - step, _GN_LO, _GN_HI)
+        r_t = _warm_residuals(trial, pp, qq, ss, gpp, wgg, nprr, wnn)
+        cost_t = np.sum(r_t * r_t, axis=1)
+        better = finite & np.isfinite(cost_t) & (cost_t < cost)
+        theta = np.where(better[:, None], trial, theta)
+        r = np.where(better[:, None], r_t, r)
+        gain = np.where(better, cost - cost_t, 0.0)
+        cost = np.where(better, cost_t, cost)
+        lam = np.where(better, np.maximum(lam / 3.0, 1e-10),
+                       np.where(finite, lam * 5.0, lam))
+        done = better & (gain <= 1e-10 * np.maximum(cost, 1e-12))
+        stuck = finite & ~better & (lam > 1e8)
+        keep = finite & ~(done | stuck)
+        if not np.all(keep):
+            theta_out[idx] = theta
+            r_out[idx] = r
+            cost_out[idx] = cost
+            idx = idx[keep]
+            theta, r, cost, lam = theta[keep], r[keep], cost[keep], lam[keep]
+            pp, qq, ss = pp[keep], qq[keep], ss[keep]
+            gpp, wgg = gpp[keep], wgg[keep]
+            nprr, wnn = nprr[keep], wnn[keep]
+    if idx.size:
+        theta_out[idx] = theta
+        r_out[idx] = r
+        cost_out[idx] = cost
+    return theta_out, r_out, cost_out
+
+
+def _solve_warm_group(
+    items: Sequence[Tuple[EllipticalEstimator, np.ndarray, np.ndarray,
+                          np.ndarray, bool, WarmStartState,
+                          List[Tuple[float, float, float, float]]]],
+) -> List[Tuple[Optional[FitResult], str]]:
+    """Solve same-shape warm requests through one lockstep kernel.
+
+    Each item is ``(estimator, p, q, rss, use_q, warm, seeds)``; every item
+    must share the same window length and seed count (callers group by
+    those — ragged padding would regroup NumPy's pairwise summations and
+    break the bit-identity contract). Returns one ``(result, reason)`` pair
+    per item, ``result=None`` when the warm fit must be rejected.
+    """
+    n_items = len(items)
+    n_rows = len(items[0][1])
+    n_seeds = len(items[0][6])
+    root_n = math.sqrt(n_rows)
+
+    p = np.repeat(np.stack([it[1] for it in items]), n_seeds, axis=0)
+    q = np.repeat(np.stack([it[2] for it in items]), n_seeds, axis=0)
+    rss = np.repeat(np.stack([it[3] for it in items]), n_seeds, axis=0)
+
+    total = n_items * n_seeds
+    gp = np.empty(total)
+    wg = np.empty(total)
+    npr = np.empty(total)
+    wn = np.empty(total)
+    theta0 = np.empty((total, 4))
+    for i, (est, _p, _q, _rss, _use_q, _warm, seeds) in enumerate(items):
+        sl = slice(i * n_seeds, (i + 1) * n_seeds)
+        gp[sl] = 0.0 if est.gamma_prior is None else est.gamma_prior
+        wg[sl] = (0.0 if est.gamma_prior is None
+                  else root_n / est.gamma_prior_sigma)
+        npr[sl] = 0.0 if est.n_prior is None else est.n_prior
+        wn[sl] = 0.0 if est.n_prior is None else root_n / est.n_prior_sigma
+        theta0[sl] = np.clip(np.asarray(seeds, dtype=float),
+                             _GN_LO + 1e-6, _GN_HI - 1e-6)
+
+    theta, r, cost = _gn_warm_kernel(theta0, p, q, rss, gp, wg, npr, wn)
+    j_final = _warm_jacobian(theta, p, q, wg, wn)
+
+    out: List[Tuple[Optional[FitResult], str]] = []
+    for i, (est, _p, _q, _rss, use_q, warm, _seeds) in enumerate(items):
+        sl = slice(i * n_seeds, (i + 1) * n_seeds)
+        k = i * n_seeds + int(np.argmin(cost[sl]))
+        if not math.isfinite(float(cost[k])):
+            out.append((None, "diverged"))
+            continue
+        x, h, gam, n = (float(v) for v in theta[k])
+        resid = r[k, :n_rows].copy()
+        rmse = float(np.sqrt(np.mean(resid * resid)))
+        limit = max(est.warm_blowup * warm.rss_rmse, est.warm_floor_db)
+        if not math.isfinite(rmse):
+            out.append((None, "diverged"))
+            continue
+        if rmse > limit:
+            out.append((None, "residual blow-up"))
+            continue
+        pos_std, cov_cond, cov_status = est._covariance_from(
+            j_final[k], r[k], n_rows)
+        if not use_q:
+            h = abs(h)  # symmetric problem: canonical solution keeps h >= 0
+        res = FitResult(
+            position=Vec2(x, h),
+            n=n,
+            gamma=gam,
+            epsilon=10.0 ** (gam / (5.0 * n)),
+            residuals=resid,
+            mirror=None if use_q else Vec2(x, -h),
+            g=x * x + h * h,
+            position_std=pos_std,
+            solver="warm-start",
+            n_candidates=n_seeds,
+            cov_cond=cov_cond,
+            cov_status=cov_status,
+            warm_started=True,
+        )
+        est._report_covariance(res)
+        perf.count("estimator.warm_fits")
+        out.append((res, ""))
+    return out
+
+
+@perf.profiled("estimator.fit_batch")
+def fit_batch(
+    requests: Sequence[FitRequest],
+    default_estimator: Optional[EllipticalEstimator] = None,
+    return_exceptions: bool = False,
+) -> List[Union[FitResult, BaseException]]:
+    """Solve N independent elliptical regressions as one batched program.
+
+    Warm-startable requests are grouped by (window length, seed count,
+    geometry mode) and each group runs through one lockstep LM kernel —
+    one NumPy program instead of N Python solver loops. Results are
+    **bit-identical** to the sequential loop
+    ``[est.fit(r.p, r.q, r.rss, warm=r.warm) for r in requests]``: the
+    sequential warm path is itself a batch of one through the same kernel,
+    cold and rejected-warm requests fall back to the identical cold-path
+    code, and grouping (rather than ragged padding) preserves per-slice
+    bit-exact reductions.
+
+    With ``return_exceptions`` the failure of one request (e.g. degenerate
+    geometry) becomes the exception object in its slot instead of
+    propagating — the batch analogue of a per-session try/except.
+    """
+    requests = list(requests)
+    results: List[Any] = [None] * len(requests)
+
+    prepared = []
+    for idx, req in enumerate(requests):
+        est = req.estimator if req.estimator is not None else default_estimator
+        if est is None:
+            est = EllipticalEstimator()
+        try:
+            p, q, rss = est._validate(req.p, req.q, req.rss)
+        except ReproError as exc:
+            if not return_exceptions:
+                raise
+            results[idx] = exc
+            continue
+        use_q = float(np.ptp(q)) > 0.3
+        prepared.append(
+            [idx, est, p, q, rss, use_q, req.warm, tuple(req.extra_seeds)])
+
+    # Partition: warm-refinable requests batch through the lockstep kernel;
+    # everything else (cold, non-refine, unusable warm) runs the sequential
+    # dispatch, which is the same code path `fit` uses.
+    groups: Dict[Tuple[int, int, bool], List[Tuple[list, list]]] = {}
+    sequential = []
+    for item in prepared:
+        _idx, est, p, _q, _rss, use_q, warm, extra = item
+        if est.refine and warm is not None and est._warm_usable(warm):
+            seeds = est._warm_seeds(warm, use_q, extra)
+            key = (len(p), len(seeds), use_q)
+            groups.setdefault(key, []).append((item, seeds))
+        else:
+            sequential.append(item)
+
+    for members in groups.values():
+        solved = _solve_warm_group(
+            [(it[1], it[2], it[3], it[4], it[5], it[6], seeds)
+             for it, seeds in members])
+        for (item, _seeds), (res, reason) in zip(members, solved):
+            idx, est, p, _q, _rss, use_q, warm, _extra = item
+            if res is None:
+                est._warm_reject(reason, warm, len(p))
+                # Re-run cold exactly as the sequential path would after a
+                # rejection: dispatch with the warm state dropped.
+                item[6] = None
+                sequential.append(item)
+            else:
+                res.warm = est._warm_state_from(res, use_q, len(p))
+                results[idx] = res
+
+    for idx, est, p, q, rss, use_q, warm, extra in sequential:
+        try:
+            results[idx] = est._fit_dispatch(p, q, rss, use_q, warm, extra)
+        except ReproError as exc:
+            if not return_exceptions:
+                raise
+            results[idx] = exc
+    return results

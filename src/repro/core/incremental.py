@@ -1,0 +1,227 @@
+"""Incremental sliding-window least squares for streaming regressions.
+
+A streaming tracking tick re-solves the elliptical regression over a window
+that overlaps the previous window almost entirely: a 2 s tick against a 60 s
+window replaces ~3% of the rows. Rebuilding the stacked design matrix and
+re-factorising from scratch every tick therefore throws away ~97% of the
+previous factorisation's work. :class:`SlidingWindowRegressor` keeps the
+triangular QR factor of the design alive across ticks:
+
+* **append** a new sample row with one pass of Givens rotations
+  (``O(k^2)`` per row for ``k`` parameters — independent of window length);
+* **evict** the oldest row with a Cholesky-style downdate of the same cost;
+* **refactor** from the retained row log every ``refactor_every``
+  up/downdates (and whenever a downdate goes numerically infeasible), so
+  rounding error cannot accumulate without bound.
+
+The maintained state is the upper-triangular ``R`` with ``R^T R = A^T A``
+and the normal-equations vector ``b = A^T y``; :meth:`solve` returns the
+least-squares parameters via two triangular solves. The whole state is
+JSON-checkpointable (:meth:`checkpoint`/:meth:`restore`) because the row
+log — needed for downdating anyway — fully determines it.
+
+This is the "incremental regressors" tier of the warm/incremental/batched
+solver stack (see ``docs/performance.md``); the estimation pipeline uses it
+to maintain warm-start seed systems across :meth:`LocBLE.estimate_series
+<repro.core.pipeline.LocBLE.estimate_series>` steps.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.errors import ConfigurationError, EstimationError
+
+__all__ = ["SlidingWindowRegressor"]
+
+#: Checkpoint schema version written by :meth:`SlidingWindowRegressor.checkpoint`.
+SWR_CHECKPOINT_FORMAT = 1
+
+
+class SlidingWindowRegressor:
+    """Least squares over a FIFO window of rows, maintained incrementally.
+
+    The invariant after every mutation is ``R^T R == A^T A`` and
+    ``b == A^T y`` (up to accumulated rounding, bounded by the periodic
+    refactorisation) for ``A``/``y`` the currently windowed rows.
+    """
+
+    def __init__(self, n_params: int, refactor_every: int = 128):
+        if n_params < 1:
+            raise ConfigurationError("n_params must be >= 1")
+        if refactor_every < 1:
+            raise ConfigurationError("refactor_every must be >= 1")
+        self.n_params = int(n_params)
+        self.refactor_every = int(refactor_every)
+        self._r = np.zeros((n_params, n_params))
+        self._b = np.zeros(n_params)
+        self._rows: Deque[Tuple[np.ndarray, float]] = deque()
+        self._ops_since_refactor = 0
+        #: Counters surfaced for tests and perf accounting.
+        self.n_appends = 0
+        self.n_evictions = 0
+        self.n_refactors = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def ops_since_refactor(self) -> int:
+        return self._ops_since_refactor
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, row: Any, y: float) -> None:
+        """Add one sample row (rank-1 Givens update of ``R``)."""
+        a = np.asarray(row, dtype=float).reshape(-1)
+        if a.shape != (self.n_params,):
+            raise ConfigurationError(
+                f"row must have {self.n_params} entries, got {a.shape}"
+            )
+        y = float(y)
+        if not (np.all(np.isfinite(a)) and math.isfinite(y)):
+            raise EstimationError("regressor rows must be finite")
+        self._rows.append((a.copy(), y))
+        self._givens_append(a.copy())
+        self._b += a * y
+        self.n_appends += 1
+        self._tick_hygiene()
+
+    def evict_oldest(self) -> None:
+        """Remove the oldest row (Cholesky downdate of ``R``).
+
+        A downdate that goes numerically infeasible (the row to remove no
+        longer sits inside the rounded factor) triggers a full
+        refactorisation instead of raising — the row log is the ground
+        truth, the factor only an accelerator.
+        """
+        if not self._rows:
+            raise EstimationError("cannot evict from an empty window")
+        a, y = self._rows.popleft()
+        self.n_evictions += 1
+        if not self._chol_downdate(a.copy()):
+            self.refactor()
+            return
+        self._b -= a * y
+        self._tick_hygiene()
+
+    def refactor(self) -> None:
+        """Rebuild ``R`` and ``b`` from the row log (numerical hygiene)."""
+        self.n_refactors += 1
+        self._ops_since_refactor = 0
+        k = self.n_params
+        if not self._rows:
+            self._r = np.zeros((k, k))
+            self._b = np.zeros(k)
+            return
+        design = np.stack([a for a, _ in self._rows])
+        ys = np.array([y for _, y in self._rows])
+        r = np.linalg.qr(design, mode="r")
+        if r.shape[0] < k:  # fewer rows than params: pad to square
+            r = np.vstack([r, np.zeros((k - r.shape[0], k))])
+        self._r = r
+        self._b = design.T @ ys
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(self) -> Optional[np.ndarray]:
+        """Current least-squares parameters, or ``None`` when unsolvable.
+
+        Returns ``None`` (never raises) for under-determined or
+        rank-deficient windows — callers treat the incremental solution as
+        an accelerator and fall back to their cold path.
+        """
+        if len(self._rows) < self.n_params:
+            return None
+        diag = np.abs(np.diag(self._r))
+        if diag.min() <= diag.max() * 1e-10 or not np.all(np.isfinite(diag)):
+            return None
+        try:
+            u = solve_triangular(self._r, self._b, trans="T", lower=False)
+            theta = solve_triangular(self._r, u, lower=False)
+        except (ValueError, np.linalg.LinAlgError):
+            return None
+        if not np.all(np.isfinite(theta)):
+            return None
+        return theta
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """JSON-safe state: the row log plus the factor and counters."""
+        return {
+            "format": SWR_CHECKPOINT_FORMAT,
+            "n_params": self.n_params,
+            "refactor_every": self.refactor_every,
+            "rows": [[list(a), y] for a, y in self._rows],
+            "r": [list(row) for row in self._r],
+            "b": list(self._b),
+            "ops_since_refactor": self._ops_since_refactor,
+            "n_appends": self.n_appends,
+            "n_evictions": self.n_evictions,
+            "n_refactors": self.n_refactors,
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "SlidingWindowRegressor":
+        if not isinstance(cp, dict) or cp.get("format") != SWR_CHECKPOINT_FORMAT:
+            raise EstimationError("unsupported regressor checkpoint")
+        swr = cls(int(cp["n_params"]), refactor_every=int(cp["refactor_every"]))
+        swr._rows = deque(
+            (np.array(a, dtype=float), float(y)) for a, y in cp["rows"]
+        )
+        swr._r = np.array(cp["r"], dtype=float)
+        swr._b = np.array(cp["b"], dtype=float)
+        swr._ops_since_refactor = int(cp["ops_since_refactor"])
+        swr.n_appends = int(cp["n_appends"])
+        swr.n_evictions = int(cp["n_evictions"])
+        swr.n_refactors = int(cp["n_refactors"])
+        return swr
+
+    # -- internals -----------------------------------------------------------
+
+    def _tick_hygiene(self) -> None:
+        self._ops_since_refactor += 1
+        if self._ops_since_refactor >= self.refactor_every:
+            self.refactor()
+
+    def _givens_append(self, a: np.ndarray) -> None:
+        """Rotate the new row into ``R`` (keeps the diagonal non-negative)."""
+        r = self._r
+        for i in range(self.n_params):
+            rii, ai = r[i, i], a[i]
+            if ai == 0.0:
+                continue
+            rad = math.hypot(rii, ai)
+            c, s = rii / rad, ai / rad
+            r[i, i] = rad
+            if i + 1 < self.n_params:
+                ti = r[i, i + 1:].copy()
+                r[i, i + 1:] = c * ti + s * a[i + 1:]
+                a[i + 1:] = c * a[i + 1:] - s * ti
+
+    def _chol_downdate(self, a: np.ndarray) -> bool:
+        """LINPACK-style downdate ``R^T R -= a a^T``; False when infeasible."""
+        r = self._r.copy()
+        for i in range(self.n_params):
+            rii, ai = r[i, i], a[i]
+            d = rii * rii - ai * ai
+            if d <= 0.0 or rii == 0.0:
+                if ai == 0.0 and rii == 0.0:
+                    continue
+                return False
+            rad = math.sqrt(d)
+            c, s = rad / rii, ai / rii
+            r[i, i] = rad
+            if i + 1 < self.n_params:
+                r[i, i + 1:] = (r[i, i + 1:] - s * a[i + 1:]) / c
+                a[i + 1:] = c * a[i + 1:] - s * r[i, i + 1:]
+        self._r = r
+        return True

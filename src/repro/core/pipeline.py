@@ -26,7 +26,13 @@ from repro.channel.pathloss import distance_for_rss
 from repro.core.anf import AdaptiveNoiseFilter
 from repro.core.confidence import estimation_confidence
 from repro.core.envaware import EnvAwareClassifier, EnvironmentMonitor
-from repro.core.estimator import EllipticalEstimator, FitResult
+from repro.core.estimator import (
+    EllipticalEstimator,
+    FitRequest,
+    FitResult,
+    WarmStartState,
+)
+from repro.core.incremental import SlidingWindowRegressor
 from repro.errors import (
     ConfigurationError,
     DataQualityError,
@@ -44,7 +50,7 @@ from repro.robustness.sanitize import (
 )
 from repro.types import EnvClass, ImuTrace, LocationEstimate, RssiTrace, Vec2
 
-__all__ = ["LocBLE", "EstimationContext"]
+__all__ = ["LocBLE", "EstimationContext", "PreparedEstimate"]
 
 #: Roughly one batch per the paper's "2–3 seconds ... approximately 20 RSS
 #: samples per data batch" at 8–9 Hz sampling.
@@ -68,6 +74,41 @@ class EstimationContext:
     env_changes: List[float] = field(default_factory=list)
     fit: Optional[FitResult] = None
     sanitization: Optional[SanitizationReport] = None
+    #: Unfiltered RSS for the *whole* (sanitized) trace, index-aligned with
+    #: the series pq-cache — the incremental seeder regresses over raw
+    #: values because they are stable per timestamp, unlike ANF output
+    #: which changes as the window grows.
+    raw_rss: Optional[np.ndarray] = None
+
+
+@dataclass
+class PreparedEstimate:
+    """A solve-ready pipeline context for cross-session batching.
+
+    Produced by :meth:`LocBLE.prepare_estimate`; its :meth:`request` feeds
+    :func:`repro.core.estimator.fit_batch` and the resulting
+    :class:`~repro.core.estimator.FitResult` goes back through
+    :meth:`LocBLE.complete_estimate`. ``estimator`` is already
+    environment-resolved, so the batched solve applies exactly the priors a
+    sequential :meth:`LocBLE.estimate` would.
+    """
+
+    ctx: EstimationContext
+    estimator: EllipticalEstimator
+
+    def request(
+        self,
+        warm: Optional[WarmStartState] = None,
+        extra_seeds: Tuple[Tuple[float, float, float, float], ...] = (),
+    ) -> FitRequest:
+        return FitRequest(
+            p=self.ctx.matched_p,
+            q=self.ctx.matched_q,
+            rss=self.ctx.matched_rss,
+            warm=warm,
+            extra_seeds=tuple(extra_seeds),
+            estimator=self.estimator,
+        )
 
 
 @dataclass
@@ -88,6 +129,71 @@ class _PqCache:
     p: np.ndarray = field(default_factory=lambda: np.empty(0))
     q: np.ndarray = field(default_factory=lambda: np.empty(0))
     t_last: float = -math.inf
+    #: Whether the last :meth:`LocBLE._matched_pq` call reused the cached
+    #: rows (vs rebuilding them because the track changed retroactively).
+    #: The incremental seeder resets its regressor on a rebuild.
+    reused: bool = False
+
+
+class _IncrementalSeeder:
+    """Streams settled matched rows into a sliding-window regressor.
+
+    Maintains the paper's Eq. 4 linear system at one fixed seed exponent
+    ``n0`` over the *settled* rows of the series pq-cache — appending new
+    rows and evicting rows that fall before the active regression segment
+    as O(k²) rank-1 updates instead of per-step rebuilds. Its running
+    solution ``(x, h, g, ε)`` becomes one extra Gauss-Newton seed for the
+    next warm solve. Rows use raw RSS (stable per timestamp; ANF output
+    changes as the window grows) and only settled indices (below the
+    cache's settle guard), so a row entered once is never wrong later —
+    except when the dead-reckoned track changes retroactively, which the
+    pq-cache detects and the seeder answers by restarting its regressor.
+    """
+
+    def __init__(self, n0: float):
+        self.n0 = float(n0)
+        self.swr = SlidingWindowRegressor(4)
+        self.lo = 0  # global index of the oldest row in the regressor
+        self.hi = 0  # one past the newest
+
+    def update(
+        self, ctx: EstimationContext, cache: _PqCache
+    ) -> Tuple[Tuple[float, float, float, float], ...]:
+        """Sync the regressor to this step's rows; return seeds (or none)."""
+        if ctx.raw_rss is None:
+            return ()
+        seg_start = ctx.segment_start_index
+        settled = min(cache.n, len(ctx.raw_rss), len(cache.p))
+        if not cache.reused or seg_start < self.lo:
+            self.swr = SlidingWindowRegressor(4)
+            self.lo = self.hi = seg_start
+        while self.lo < seg_start and len(self.swr):
+            self.swr.evict_oldest()
+            self.lo += 1
+        self.lo = max(self.lo, seg_start)
+        self.hi = max(self.hi, self.lo)
+        while self.hi < settled:
+            i = self.hi
+            p_i, q_i = float(cache.p[i]), float(cache.q[i])
+            y_i = 10.0 ** (-float(ctx.raw_rss[i]) / (5.0 * self.n0))
+            row = (-2.0 * p_i, -2.0 * q_i, -1.0, y_i)
+            rhs = p_i * p_i + q_i * q_i
+            if not all(math.isfinite(v) for v in (*row, rhs)):
+                # Keep index alignment with the cache: a neutral all-zero
+                # row contributes nothing but still occupies slot i.
+                row, rhs = (0.0, 0.0, 0.0, 0.0), 0.0
+            self.swr.append(row, rhs)
+            self.hi = i + 1
+        theta = self.swr.solve()
+        if theta is None:
+            return ()
+        x, h, _g, eps = (float(v) for v in theta)
+        if not (eps > 0.0 and math.isfinite(eps)):
+            return ()
+        gamma = 5.0 * self.n0 * math.log10(eps)
+        if not all(math.isfinite(v) for v in (x, h, gamma)):
+            return ()
+        return ((x, h, gamma, self.n0),)
 
 
 @dataclass
@@ -128,6 +234,8 @@ class LocBLE:
         rssi_trace: RssiTrace,
         observer_imu: ImuTrace,
         target_imu: Optional[ImuTrace] = None,
+        warm: Optional[WarmStartState] = None,
+        extra_seeds: Tuple[Tuple[float, float, float, float], ...] = (),
     ) -> LocationEstimate:
         """Estimate the beacon's position in the measurement frame.
 
@@ -135,9 +243,40 @@ class LocBLE:
         records its own motion and "sends measurement data to the observer
         for processing"; frames are reconciled through each device's
         magnetic heading.
+
+        ``warm`` (typically the previous overlapping window's
+        ``diagnostics.warm``) routes the solve through the estimator's
+        warm-start fast path; a stale warm state is rejected and re-solved
+        cold, so it can only cost latency, never accuracy.
         """
         ctx = self._build_context(rssi_trace, observer_imu, target_imu)
-        return self._estimate_from_context(ctx)
+        return self._estimate_from_context(ctx, warm=warm,
+                                           extra_seeds=extra_seeds)
+
+    def prepare_estimate(
+        self,
+        rssi_trace: RssiTrace,
+        observer_imu: ImuTrace,
+        target_imu: Optional[ImuTrace] = None,
+    ) -> PreparedEstimate:
+        """Run every pipeline stage up to (but not including) the solve.
+
+        The cross-session batching path: N sessions each prepare their
+        context, the service stacks the resulting requests into one
+        :func:`repro.core.estimator.fit_batch` call, and each
+        :class:`~repro.core.estimator.FitResult` comes back through
+        :meth:`complete_estimate`. ``prepare + fit_batch + complete`` is
+        numerically identical to :meth:`estimate` per session.
+        """
+        ctx = self._build_context(rssi_trace, observer_imu, target_imu)
+        return PreparedEstimate(ctx=ctx, estimator=self._resolve_estimator(ctx))
+
+    def complete_estimate(
+        self, prepared: PreparedEstimate, fit: FitResult
+    ) -> LocationEstimate:
+        """Turn a batched solve's :class:`FitResult` into the estimate."""
+        confidence = estimation_confidence(fit.residuals)
+        return self._finish_estimate(prepared.ctx, fit, confidence)
 
     def estimate_all(
         self,
@@ -172,6 +311,7 @@ class LocBLE:
         rssi_trace: RssiTrace,
         observer_imu: ImuTrace,
         times: List[float],
+        warm_chain: bool = False,
     ) -> List[Tuple[float, LocationEstimate]]:
         """Re-estimate at each requested time using only data seen so far.
 
@@ -183,12 +323,25 @@ class LocBLE:
         earlier batches are reused (appended to, not rebuilt) whenever the
         dead-reckoned track did not change retroactively — each step then
         costs only the new samples' matching plus the (vectorized) filter
-        and regression. Results are identical to calling :meth:`estimate`
-        on each prefix.
+        and regression. With the default ``warm_chain=False``, results are
+        identical to calling :meth:`estimate` on each prefix.
+
+        ``warm_chain=True`` additionally carries each step's warm-start
+        state (and an incrementally maintained sliding-window linear system
+        over the settled rows) into the next step's solve, replacing the
+        full exponent-grid search with a few-seed refinement. Steps then
+        agree with the cold path to solver tolerance rather than bitwise —
+        the warm fit's acceptance guard re-runs cold whenever residuals
+        blow up, so accuracy is preserved.
         """
         out: List[Tuple[float, LocationEstimate]] = []
         imu_ts = [s.timestamp for s in observer_imu.samples]
         cache = _PqCache()
+        warm: Optional[WarmStartState] = None
+        seeder: Optional[_IncrementalSeeder] = None
+        if warm_chain:
+            n0 = self.estimator.n_prior
+            seeder = _IncrementalSeeder(float(n0) if n0 is not None else 2.2)
         for t in times:
             partial = rssi_trace.slice_time(-math.inf, t)
             imu_partial = ImuTrace(
@@ -197,7 +350,11 @@ class LocBLE:
             try:
                 ctx = self._build_context(
                     partial, imu_partial, None, _pq_cache=cache)
-                out.append((t, self._estimate_from_context(ctx)))
+                extra = seeder.update(ctx, cache) if seeder is not None else ()
+                out.append((t, self._estimate_from_context(
+                    ctx, warm=warm, extra_seeds=extra)))
+                if warm_chain and ctx.fit is not None:
+                    warm = ctx.fit.warm
             except (InsufficientDataError, EstimationError):
                 # A prefix can be unobservable (standstill start, degenerate
                 # geometry) even when later prefixes estimate fine; skip it
@@ -396,6 +553,7 @@ class LocBLE:
             env_class=env_class,
             env_changes=changes,
             sanitization=report,
+            raw_rss=raw_rss,
         )
 
     @staticmethod
@@ -437,6 +595,7 @@ class LocBLE:
         else:
             perf.count("pipeline.pq_cache_rebuilds")
             p, q = compute(ts)
+        cache.reused = reuse
         # Cache only rows older than the settle guard: step/turn detection
         # keeps refining the last couple of seconds of the walk as IMU data
         # arrives, so rows near the prefix end would fail the checkpoint on
@@ -448,24 +607,41 @@ class LocBLE:
         cache.t_last = float(ts[n_keep - 1]) if n_keep else -math.inf
         return p, q
 
-    def _estimate_from_context(self, ctx: EstimationContext) -> LocationEstimate:
+    def _resolve_estimator(self, ctx: EstimationContext) -> EllipticalEstimator:
+        """The estimator this context solves with (environment priors applied)."""
         estimator = self.estimator
         if self.use_env_prior and self.use_envaware and self.envaware is not None:
             estimator = estimator.with_environment(ctx.env_class)
+        return estimator
+
+    def _estimate_from_context(
+        self,
+        ctx: EstimationContext,
+        warm: Optional[WarmStartState] = None,
+        extra_seeds: Tuple[Tuple[float, float, float, float], ...] = (),
+    ) -> LocationEstimate:
+        estimator = self._resolve_estimator(ctx)
         with obs.span(
             "estimator.solve", component="pipeline", env=ctx.env_class
         ) as sp:
-            fit = estimator.fit(ctx.matched_p, ctx.matched_q, ctx.matched_rss)
-            ctx.fit = fit
+            fit = estimator.fit(ctx.matched_p, ctx.matched_q, ctx.matched_rss,
+                                warm=warm, extra_seeds=extra_seeds)
             confidence = estimation_confidence(fit.residuals)
             sp.annotate(solver=fit.solver, cov_status=fit.cov_status,
                         confidence=confidence)
+        return self._finish_estimate(ctx, fit, confidence)
+
+    def _finish_estimate(
+        self, ctx: EstimationContext, fit: FitResult, confidence: float
+    ) -> LocationEstimate:
+        ctx.fit = fit
         ambiguous = (fit.mirror,) if fit.mirror is not None else ()
         diagnostics = EstimateDiagnostics(
             sanitization=ctx.sanitization,
             n_samples_used=int(len(ctx.matched_rss)),
             env_changes=tuple(ctx.env_changes),
             provenance=self._provenance(ctx, fit, confidence),
+            warm=fit.warm,
         )
         return LocationEstimate(
             position=fit.position,
@@ -496,6 +672,7 @@ class LocBLE:
             n_candidates=fit.n_candidates,
             cov_cond=fit.cov_cond,
             cov_status=fit.cov_status,
+            warm_started=fit.warm_started,
             env_class=str(ctx.env_class),
             env_restarts=len(ctx.env_changes),
             n_samples=int(len(ctx.matched_rss)),

@@ -35,10 +35,11 @@ class FixProvenance:
     """Everything worth auditing about how one location fix was produced."""
 
     # -- solver layer (core/estimator.py) ------------------------------------
-    solver: str = "none"            # "gauss-newton" | "linearized" | "fallback"
+    solver: str = "none"            # "gauss-newton" | "warm-start" | "linearized" | "fallback"
     n_candidates: int = 0           # initial seeds refined by the solver
     cov_cond: Optional[float] = None   # condition number of the GN normal matrix
     cov_status: str = "none"        # "ok" | "capped" | "rank-deficient" | "error"
+    warm_started: bool = False      # fit came from the warm-start fast path
 
     # -- pipeline layer (core/pipeline.py) -----------------------------------
     env_class: str = "LOS"

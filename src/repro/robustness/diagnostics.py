@@ -38,6 +38,11 @@ class EstimateDiagnostics:
     pipeline assembled for this estimate (solver facts included); streaming
     sessions enrich it with their stream-layer fields and emit it as the
     ``fix.provenance`` event.
+
+    ``warm`` is the :class:`repro.core.estimator.WarmStartState` the solver
+    derived from this fit (typed loosely to keep this module import-light):
+    streaming callers carry it into the next overlapping-window solve to
+    take the warm fast path.
     """
 
     sanitization: Optional[SanitizationReport] = None
@@ -46,6 +51,7 @@ class EstimateDiagnostics:
     n_samples_used: int = 0
     env_changes: Tuple[float, ...] = ()
     provenance: Optional[FixProvenance] = None
+    warm: Optional[object] = None
 
     @property
     def full_pipeline(self) -> bool:

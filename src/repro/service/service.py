@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional
 
 from repro import obs, perf
+from repro.core.estimator import fit_batch
 from repro.errors import ConfigurationError, DataQualityError
 from repro.service.buffers import BoundedBuffer
 from repro.service.session import (
@@ -159,6 +160,43 @@ class TrackingService:
         out: Dict[str, SessionSnapshot] = {}
         for beacon_id in sorted(self.sessions):
             out[beacon_id] = self.sessions[beacon_id].step(t, imu_trace)
+        return out
+
+    @perf.profiled("service.TrackingService.tick_batch")
+    def tick_batch(self, t: float) -> Dict[str, SessionSnapshot]:
+        """Advance every session to ``t`` with ONE batched solve dispatch.
+
+        The cross-session batching path: each due session prepares its
+        solve (:meth:`TrackingSession.begin_step`), all prepared requests
+        go through a single :func:`repro.core.estimator.fit_batch` call —
+        one NumPy program for the whole shard tick instead of N Python
+        solver loops — and the results are resolved back per session.
+        Produces bit-identical snapshots to :meth:`step` (the sequential
+        warm solve is itself a batch of one through the same kernel), so
+        the two paths are interchangeable tick by tick.
+        """
+        if not math.isfinite(t):
+            raise ConfigurationError("step time must be finite")
+        horizon = t - self.config.imu_window_s
+        self.imu.drop_while(lambda s: s.timestamp < horizon)
+        imu_trace = ImuTrace(self.imu.items())
+
+        pending = []
+        for beacon_id in sorted(self.sessions):
+            p = self.sessions[beacon_id].begin_step(t, imu_trace)
+            if p is not None:
+                pending.append((self.sessions[beacon_id], p))
+
+        if pending:
+            fits = fit_batch([p.request for _, p in pending],
+                             return_exceptions=True)
+            perf.count("service.batch_solves", len(pending))
+            for (session, p), fit in zip(pending, fits):
+                session.resolve_solve(p, fit)
+
+        out: Dict[str, SessionSnapshot] = {}
+        for beacon_id in sorted(self.sessions):
+            out[beacon_id] = self.sessions[beacon_id].finish_step(t)
         return out
 
     # -- reporting -----------------------------------------------------------

@@ -31,13 +31,15 @@ unaffected, but absolute track coordinates are then only window-relative.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from bisect import bisect_left
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro import obs, perf
-from repro.core.pipeline import LocBLE
+from repro.core.estimator import FitRequest, FitResult, WarmStartState
+from repro.core.pipeline import LocBLE, PreparedEstimate
 from repro.core.tracking import BeaconTracker, TrackState
 from repro.errors import (
     ConfigurationError,
@@ -57,7 +59,8 @@ from repro.obs.provenance import FixProvenance
 from repro.service.health import HealthConfig, HealthMachine, SessionState
 from repro.types import ImuTrace, LocationEstimate, RssiSample, RssiTrace
 
-__all__ = ["SessionConfig", "SessionSnapshot", "TrackingSession"]
+__all__ = ["SessionConfig", "SessionSnapshot", "TrackingSession",
+           "PendingSolve"]
 
 #: Checkpoint schema version written by :meth:`TrackingSession.checkpoint`.
 SESSION_CHECKPOINT_FORMAT = 1
@@ -83,6 +86,14 @@ class SessionConfig:
     ``process_accel_std`` / ``default_fix_std`` parameterize the Kalman
     tracker; nested configs drive the health machine, circuit breaker and
     retry backoff.
+
+    ``warm_start`` carries each accepted fix's solver state into the next
+    solve so consecutive overlapping windows skip the cold exponent-grid
+    search; states older than ``warm_max_age_s`` are dropped. Once the
+    measurement frame's anchor starts sliding (stream time beyond
+    ``window_s``) the warm position seed is offset by the inter-tick walk;
+    the solver's acceptance guard rejects any warm fit whose residuals blow
+    up and re-runs cold, so warm-starting is latency-only, never accuracy.
     """
 
     window_s: float = 60.0
@@ -92,6 +103,8 @@ class SessionConfig:
     min_imu_samples: int = 16
     process_accel_std: float = 0.5
     default_fix_std: float = 2.0
+    warm_start: bool = True
+    warm_max_age_s: float = 30.0
     health: HealthConfig = field(default_factory=HealthConfig)
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     backoff: BackoffConfig = field(default_factory=BackoffConfig)
@@ -107,6 +120,8 @@ class SessionConfig:
             raise ConfigurationError("rss_buffer must be >= 8")
         if self.min_imu_samples < 2:
             raise ConfigurationError("min_imu_samples must be >= 2")
+        if not (math.isfinite(self.warm_max_age_s) and self.warm_max_age_s > 0):
+            raise ConfigurationError("warm_max_age_s must be finite and > 0")
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -120,6 +135,21 @@ class SessionConfig:
             backoff=BackoffConfig(**d.pop("backoff")),
             **d,
         )
+
+
+@dataclass
+class PendingSolve:
+    """A solve this session has prepared and gated, awaiting its batched fit.
+
+    Produced by :meth:`TrackingSession.begin_step`; the service stacks the
+    ``request`` of every due session into one
+    :func:`repro.core.estimator.fit_batch` call and hands each result back
+    through :meth:`TrackingSession.resolve_solve`.
+    """
+
+    t: float
+    prepared: PreparedEstimate
+    request: FitRequest
 
 
 @dataclass(frozen=True)
@@ -160,6 +190,7 @@ class TrackingSession:
         self.last_solve_t: Optional[float] = None
         self.last_estimate: Optional[LocationEstimate] = None
         self._last_env_change_t: Optional[float] = None
+        self._warm: Optional[WarmStartState] = None
         self.counters: Dict[str, int] = {
             "solves_attempted": 0,
             "solves_shed": 0,
@@ -256,6 +287,114 @@ class TrackingSession:
             else:
                 self._attempt_solve(t, window, imu_window)
 
+        return self.finish_step(t)
+
+    def begin_step(self, t: float, imu: ImuTrace) -> Optional[PendingSolve]:
+        """First half of a batched step: gating plus solve preparation.
+
+        Runs everything :meth:`step` would up to the solve itself — buffer
+        aging, the solve-period/breaker/backoff gates, window assembly, and
+        the pipeline's pre-solve stages. Returns ``None`` when no solve is
+        due this tick (or preparation failed, recorded exactly as a
+        sequential solve failure would be); otherwise a
+        :class:`PendingSolve` whose request joins the service-wide
+        :func:`~repro.core.estimator.fit_batch`. The caller must finish the
+        tick with :meth:`resolve_solve` (when pending) and
+        :meth:`finish_step`.
+        """
+        if not math.isfinite(t):
+            raise ConfigurationError("step time must be finite")
+
+        self._age_out(t)
+        due = (
+            self.last_solve_t is None
+            or t - self.last_solve_t >= self.config.solve_period_s
+        )
+        if not due:
+            return None
+        window = self._window(t)
+        imu_window = self._imu_window(imu, t)
+        if (len(window) < self.pipeline.estimator.min_samples
+                or len(imu_window) < self.config.min_imu_samples):
+            self._count("solves_skipped_nodata")
+            perf.count("service.solves_skipped_nodata")
+            obs.emit(
+                "session.solve_skipped",
+                severity="debug",
+                component="service",
+                beacon=self.beacon_id,
+                t=t,
+                rss_window=len(window),
+                imu_window=len(imu_window),
+            )
+            return None
+        if not (self.breaker.allow(t) and self.backoff.ready(t)):
+            self._count("solves_shed")
+            perf.count("service.solves_shed")
+            obs.emit(
+                "session.solve_shed",
+                severity="info",
+                component="service",
+                beacon=self.beacon_id,
+                t=t,
+                breaker_state=self.breaker.state,
+                backoff_attempt=self.backoff.attempt,
+            )
+            return None
+
+        self._count("solves_attempted")
+        perf.count("service.solves_attempted")
+        try:
+            prepared = self.pipeline.prepare_estimate(window, imu_window)
+        except DegenerateGeometryError as exc:
+            self._solve_degenerate(t, exc)
+            self.last_solve_t = t
+            return None
+        except (DataQualityError, InsufficientDataError, EstimationError) as exc:
+            self._solve_transient(t, exc)
+            self.last_solve_t = t
+            return None
+        except BaseException:
+            self.last_solve_t = t
+            raise
+        return PendingSolve(
+            t=t,
+            prepared=prepared,
+            request=prepared.request(warm=self._usable_warm(t)),
+        )
+
+    def resolve_solve(
+        self, pending: PendingSolve, fit: "FitResult | BaseException"
+    ) -> None:
+        """Second half of a batched step: consume the batched fit result.
+
+        ``fit`` is this session's slot from ``fit_batch(...,
+        return_exceptions=True)`` — either a
+        :class:`~repro.core.estimator.FitResult` or the exception its solve
+        raised. Failure classification, breaker/backoff bookkeeping, fix
+        acceptance and provenance emission match :meth:`step`'s sequential
+        path exactly.
+        """
+        t = pending.t
+        try:
+            with obs.span(
+                "session.solve", component="service", beacon=self.beacon_id
+            ):
+                if isinstance(fit, BaseException):
+                    raise fit
+                est = self.pipeline.complete_estimate(pending.prepared, fit)
+                self.tracker.update(t, est)
+        except DegenerateGeometryError as exc:
+            self._solve_degenerate(t, exc)
+        except (DataQualityError, InsufficientDataError, EstimationError) as exc:
+            self._solve_transient(t, exc)
+        else:
+            self._solve_succeeded(t, est)
+        finally:
+            self.last_solve_t = t
+
+    def finish_step(self, t: float) -> SessionSnapshot:
+        """Tail of a step: health tick, LOST handling, and the snapshot."""
         prev_state = self.health.state
         self.health.on_tick(t)
         if (self.health.state == SessionState.LOST
@@ -286,46 +425,77 @@ class TrackingSession:
             with obs.span(
                 "session.solve", component="service", beacon=self.beacon_id
             ):
-                est = self.pipeline.estimate(window, imu_window)
+                est = self.pipeline.estimate(
+                    window, imu_window, warm=self._usable_warm(t))
                 self.tracker.update(t, est)
         except DegenerateGeometryError as exc:
-            self._count("solves_degenerate")
-            perf.count("service.solves_degenerate")
-            obs.emit(
-                "session.solve_degenerate",
-                severity="warning",
-                component="service",
-                beacon=self.beacon_id,
-                t=t,
-                error=str(exc),
-            )
-            self.breaker.record_failure(t)
+            self._solve_degenerate(t, exc)
         except (DataQualityError, InsufficientDataError, EstimationError) as exc:
-            self._count("solves_transient_failures")
-            perf.count("service.solves_transient_failures")
-            obs.emit(
-                "session.solve_transient",
-                severity="warning",
-                component="service",
-                beacon=self.beacon_id,
-                t=t,
-                error=type(exc).__name__,
-            )
-            self.backoff.on_failure(t)
+            self._solve_transient(t, exc)
         else:
-            self.breaker.record_success(t)
-            self.backoff.reset()
-            self.last_estimate = est
-            good = self._fix_quality(est)
-            self.health.on_fix(t, good)
-            self._count("fixes_accepted")
-            perf.count("service.fixes_accepted")
-            self._emit_provenance(t, est, good)
-            if not good:
-                self._count("fixes_degraded")
-                perf.count("service.fixes_degraded")
+            self._solve_succeeded(t, est)
         finally:
             self.last_solve_t = t
+
+    # -- solve outcome handlers (shared by step and the batched path) ---------
+
+    def _solve_degenerate(self, t: float, exc: Exception) -> None:
+        self._count("solves_degenerate")
+        perf.count("service.solves_degenerate")
+        obs.emit(
+            "session.solve_degenerate",
+            severity="warning",
+            component="service",
+            beacon=self.beacon_id,
+            t=t,
+            error=str(exc),
+        )
+        self.breaker.record_failure(t)
+
+    def _solve_transient(self, t: float, exc: Exception) -> None:
+        self._count("solves_transient_failures")
+        perf.count("service.solves_transient_failures")
+        obs.emit(
+            "session.solve_transient",
+            severity="warning",
+            component="service",
+            beacon=self.beacon_id,
+            t=t,
+            error=type(exc).__name__,
+        )
+        self.backoff.on_failure(t)
+
+    def _solve_succeeded(self, t: float, est: LocationEstimate) -> None:
+        self.breaker.record_success(t)
+        self.backoff.reset()
+        self.last_estimate = est
+        self._store_warm(t, est)
+        good = self._fix_quality(est)
+        self.health.on_fix(t, good)
+        self._count("fixes_accepted")
+        perf.count("service.fixes_accepted")
+        self._emit_provenance(t, est, good)
+        if not good:
+            self._count("fixes_degraded")
+            perf.count("service.fixes_degraded")
+
+    # -- warm-start state -----------------------------------------------------
+
+    def _usable_warm(self, t: float) -> Optional[WarmStartState]:
+        """The carried warm state, unless disabled or aged out."""
+        if not self.config.warm_start or self._warm is None:
+            return None
+        born = self._warm.stream_t
+        if born is not None and t - born > self.config.warm_max_age_s:
+            return None
+        return self._warm
+
+    def _store_warm(self, t: float, est: LocationEstimate) -> None:
+        warm = getattr(est.diagnostics, "warm", None)
+        if warm is None:
+            self._warm = None
+        else:
+            self._warm = dataclasses.replace(warm, stream_t=t)
 
     def _emit_provenance(
         self, t: float, est: LocationEstimate, good: bool
@@ -435,6 +605,10 @@ class TrackingSession:
             "last_solve_t": self.last_solve_t,
             "last_env_change_t": self._last_env_change_t,
             "counters": dict(self.counters),
+            # Warm-start state: floats round-trip bit-exactly through JSON
+            # (repr-based), so a restored session's next warm solve is
+            # bit-identical to the uninterrupted one.
+            "warm": None if self._warm is None else self._warm.to_dict(),
         }
 
     @classmethod
@@ -481,6 +655,8 @@ class TrackingSession:
         session.counters.update(
             {str(k): int(v) for k, v in cp["counters"].items()}
         )
+        warm = cp.get("warm")  # absent in pre-warm-start checkpoints
+        session._warm = None if warm is None else WarmStartState.from_dict(warm)
         perf.count("service.restores")
         obs.emit(
             "session.restored",

@@ -70,6 +70,12 @@ class SoakConfig:
     #: (readable by ``python -m repro obs report``). The in-memory event
     #: accounting in :attr:`SoakResult.events` happens either way.
     events_jsonl: Optional[str] = None
+    #: Drive the service through :meth:`TrackingService.tick_batch`
+    #: (one batched solve dispatch per tick) instead of the sequential
+    #: :meth:`~TrackingService.step` — the two must produce identical
+    #: snapshot streams, so soaking the batch path is a standing
+    #: equivalence check against the sequential one.
+    batch_ticks: bool = False
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.duration_s) and self.duration_s > 0):
@@ -233,19 +239,22 @@ def _drive(
     service: TrackingService,
     ticks,
     errors: List[str],
+    batch: bool = False,
 ) -> Dict[str, List[SessionSnapshot]]:
     """Replay ingest batches into a service, capturing every exception.
 
     The service's contract is to *never* raise on data; anything caught
     here is recorded as a soak failure rather than aborting the run, so a
-    single bug cannot hide later ones.
+    single bug cannot hide later ones. With ``batch`` the stream is
+    stepped through :meth:`TrackingService.tick_batch` instead of
+    :meth:`~TrackingService.step`.
     """
     out: Dict[str, List[SessionSnapshot]] = {}
     for t, scan_batch, imu_batch in ticks:
         try:
             service.ingest_scans(scan_batch)
             service.ingest_imu(imu_batch)
-            snaps = service.step(t)
+            snaps = (service.tick_batch(t) if batch else service.step(t))
         except Exception as exc:  # noqa: BLE001 — the whole point of a soak
             errors.append(f"{type(exc).__name__}: {exc}")
             continue
@@ -298,16 +307,19 @@ def _run_soak_observed(
             len(ticks) - 1,
         )
         head, tail = ticks[: cut + 1], ticks[cut + 1:]
-        snapshots = _drive(service, head, errors)
+        snapshots = _drive(service, head, errors, batch=config.batch_ticks)
         # The kill: what a restarting process would read back from disk.
         checkpoint_json = json.dumps(service.checkpoint())
-        for beacon_id, snaps in _drive(service, tail, errors).items():
+        for beacon_id, snaps in _drive(service, tail, errors,
+                                       batch=config.batch_ticks).items():
             snapshots.setdefault(beacon_id, []).extend(snaps)
         resumed = TrackingService.restore(json.loads(checkpoint_json))
-        resumed_snaps = _drive(resumed, tail, errors)
+        resumed_snaps = _drive(resumed, tail, errors,
+                               batch=config.batch_ticks)
     else:
         tail = []
-        snapshots = _drive(service, ticks, errors)
+        snapshots = _drive(service, ticks, errors,
+                           batch=config.batch_ticks)
         resumed_snaps = None
 
     checkpoint_equal: Optional[bool] = None

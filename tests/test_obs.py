@@ -285,6 +285,7 @@ class TestSoakEventCrossCheck:
         ("pipeline.fallback", "pipeline.fallbacks"),
         ("session.solve_skipped", "service.solves_skipped_nodata"),
         ("session.solve_degenerate", "service.solves_degenerate"),
+        ("solver.warm_rejected", "estimator.warm_rejected"),
     ]
 
     @pytest.fixture(scope="class")

@@ -416,7 +416,7 @@ class _ScriptedPipeline:
         self.script = list(script)
         self.calls = 0
 
-    def estimate(self, trace, imu):
+    def estimate(self, trace, imu, warm=None, extra_seeds=()):
         action = self.script[min(self.calls, len(self.script) - 1)]
         self.calls += 1
         if action == "degenerate":

@@ -1,0 +1,446 @@
+"""Tests for the warm/incremental/batched solver stack.
+
+Covers the three tiers of the incremental solving stack plus their
+integration points: warm-start acceptance and rejection at the estimator,
+the sliding-window incremental regressor, ``fit_batch``'s bit-identity
+contract with the sequential loop, warm chaining through
+``estimate_series``, and the service's batched tick dispatch.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs, perf
+from repro.channel.pathloss import rss_at
+from repro.core.estimator import (
+    EllipticalEstimator,
+    FitRequest,
+    WarmStartState,
+    fit_batch,
+)
+from repro.core.incremental import SlidingWindowRegressor
+from repro.core.pipeline import LocBLE
+from repro.errors import ConfigurationError, EstimationError, ReproError
+from repro.sim.faults import inject_spikes
+from repro.types import RssiTrace, Vec2
+
+
+def _l_walk(n=40, leg1=2.5, leg2=2.0):
+    """Observer displacements along a canonical L-walk (+x then +y)."""
+    d = np.linspace(0, leg1 + leg2, n)
+    ax = np.minimum(d, leg1)
+    cy = np.clip(d - leg1, 0.0, leg2)
+    return -ax, -cy  # p, q for a stationary target
+
+
+def _rss_for(true, p, q, gamma=-59.0, n=2.0, noise=0.0, rng=None):
+    l = np.hypot(true[0] + p, true[1] + q)
+    rss = np.array([rss_at(d, gamma, n) for d in l])
+    if noise > 0:
+        rss = rss + rng.normal(0, noise, len(rss))
+    return rss
+
+
+def _assert_fits_identical(a, b):
+    """Bitwise equality of everything a FitResult reports."""
+    assert a.position.x == b.position.x and a.position.y == b.position.y
+    assert a.n == b.n and a.gamma == b.gamma and a.epsilon == b.epsilon
+    assert np.array_equal(a.residuals, b.residuals)
+    assert a.position_std == b.position_std
+    assert a.cov_status == b.cov_status
+    assert a.solver == b.solver
+    assert a.warm_started == b.warm_started
+    if a.warm is None or b.warm is None:
+        assert a.warm is b.warm
+    else:
+        assert a.warm.to_dict() == b.warm.to_dict()
+
+
+class TestWarmStartFastPath:
+    TRUE = (4.0, 3.0)
+
+    def _cold(self, noise=1.0, seed=3):
+        p, q = _l_walk()
+        rng = np.random.default_rng(seed)
+        rss = _rss_for(self.TRUE, p, q, noise=noise, rng=rng)
+        est = EllipticalEstimator()
+        return est, p, q, rss, est.fit(p, q, rss)
+
+    def test_cold_fit_emits_warm_state(self):
+        _est, p, _q, _rss, cold = self._cold()
+        assert cold.warm is not None
+        assert not cold.warm_started
+        assert cold.warm.n == cold.n
+        assert cold.warm.n_rows == len(p)
+        assert cold.warm.use_q is True
+
+    def test_warm_fit_engages_and_agrees_with_cold(self):
+        est, p, q, rss, cold = self._cold()
+        rng = np.random.default_rng(17)
+        rss2 = rss + rng.normal(0.0, 0.4, rss.shape)
+        warm_res = est.fit(p, q, rss2, warm=cold.warm)
+        cold_res = est.fit(p, q, rss2)
+        assert warm_res.warm_started and warm_res.solver == "warm-start"
+        assert not cold_res.warm_started
+        # Warm-path accuracy: same optimum to solver tolerance.
+        assert abs(warm_res.position.x - cold_res.position.x) < 0.3
+        assert abs(warm_res.position.y - cold_res.position.y) < 0.3
+        assert warm_res.n == pytest.approx(cold_res.n, abs=0.15)
+        assert warm_res.position.distance_to(Vec2(*self.TRUE)) < 1.5
+
+    def test_warm_state_json_round_trip_is_bit_identical(self):
+        _est, _p, _q, _rss, cold = self._cold()
+        d = json.loads(json.dumps(cold.warm.to_dict()))
+        restored = WarmStartState.from_dict(d)
+        assert restored == cold.warm  # frozen dataclass: field-exact
+
+    def test_stale_warm_rejected_and_cold_rerun_bit_identical(self):
+        """A warm state whose residual scale the new window blows past is
+        rejected — and the result must equal a plain cold fit bitwise."""
+        est, p, q, rss, cold = self._cold(noise=0.5)
+        # Simulate an environment change with sim.faults: heavy RSS spikes
+        # push the warm refit's RMSE far beyond the acceptance limit.
+        trace = RssiTrace.from_arrays(np.arange(len(rss)) / 9.0, rss, "b")
+        spiked = inject_spikes(trace, np.random.default_rng(5),
+                               spike_rate=0.5, spike_db=25.0)
+        rss_bad = spiked.values()
+        obs.reset()
+        before = perf.counter_value("estimator.warm_rejected")
+        warm_res = est.fit(p, q, rss_bad, warm=cold.warm)
+        after = perf.counter_value("estimator.warm_rejected")
+        events = [e for e in obs.tail() if e.name == "solver.warm_rejected"]
+        obs.reset()
+        assert not warm_res.warm_started
+        assert after - before == 1
+        assert len(events) == 1  # counter and event at the same site
+        assert events[0].fields["reason"] == "residual blow-up"
+        _assert_fits_identical(warm_res, est.fit(p, q, rss_bad))
+
+    def test_gradual_environment_change_tracked_warm(self):
+        """A real environment change the refinement can follow is absorbed
+        by the warm path — the guard only rejects residual blow-ups."""
+        est, p, q, rss, cold = self._cold(noise=0.5)
+        rng = np.random.default_rng(29)
+        rss_new = _rss_for(self.TRUE, p, q, gamma=-66.0, n=3.1,
+                           noise=0.5, rng=rng)
+        moved = est.fit(p, q, rss_new, warm=cold.warm)
+        assert moved.warm_started
+        assert moved.rss_rmse < max(est.warm_blowup * cold.warm.rss_rmse,
+                                    est.warm_floor_db)
+
+    def test_recovers_after_rejection(self):
+        """Diverge-and-recover: the rejected tick's cold re-fit re-seeds
+        the chain, so the next tick warm-starts again."""
+        est, p, q, rss, cold = self._cold(noise=0.5)
+        rng = np.random.default_rng(29)
+        trace = RssiTrace.from_arrays(np.arange(len(rss)) / 9.0, rss, "b")
+        spiked = inject_spikes(trace, rng, spike_rate=0.5,
+                               spike_db=25.0).values()
+        first = est.fit(p, q, spiked, warm=cold.warm)
+        assert not first.warm_started  # rejected: residuals blew up
+        assert first.warm is not None  # ...but the re-fit still re-seeds
+        # The glitch clears. The glitch-tick's re-fit may itself be too
+        # contaminated to seed from (n pinned at a bound, huge residual
+        # scale) — the chain then runs one more cold tick and resumes warm
+        # from *that* fit at the latest.
+        second = est.fit(p, q, rss + rng.normal(0, 0.3, rss.shape),
+                         warm=first.warm)
+        third = est.fit(p, q, rss + rng.normal(0, 0.3, rss.shape),
+                        warm=second.warm)
+        assert third.warm_started
+        assert third.position.distance_to(Vec2(*self.TRUE)) < 1.5
+
+    def test_unusable_warm_states_fall_back_cold(self):
+        est, p, q, rss, _cold = self._cold()
+        bad = [
+            WarmStartState(x=math.nan, h=3.0, gamma=-59.0, n=2.0,
+                           rss_rmse=1.0),
+            WarmStartState(x=4.0, h=3.0, gamma=-59.0, n=9.5, rss_rmse=1.0),
+            WarmStartState(x=4.0, h=3.0, gamma=-59.0, n=2.0, rss_rmse=-1.0),
+        ]
+        for warm in bad:
+            res = est.fit(p, q, rss, warm=warm)
+            assert not res.warm_started
+            _assert_fits_identical(res, est.fit(p, q, rss))
+
+    def test_refine_false_uses_linearized_neighbourhood(self):
+        est = EllipticalEstimator(refine=False, gamma_prior=None)
+        p, q = _l_walk()
+        rss = _rss_for(self.TRUE, p, q, noise=0.3,
+                       rng=np.random.default_rng(11))
+        cold = est.fit(p, q, rss)
+        warm_res = est.fit(p, q, rss, warm=cold.warm)
+        assert warm_res.warm_started
+        assert warm_res.solver == "warm-linearized"
+        assert warm_res.n == pytest.approx(cold.n, abs=est.warm_n_step)
+
+
+#: Cold-fit cache for the ragged-batch property: one cold solve per window
+#: length, reused across hypothesis examples (cold fits are the slow part).
+_WARM_POOL = {}
+
+
+def _pooled_request(n_samples):
+    if n_samples not in _WARM_POOL:
+        est = EllipticalEstimator()
+        p, q = _l_walk(n=n_samples)
+        rng = np.random.default_rng(1000 + n_samples)
+        rss = _rss_for((4.0, 3.0), p, q, noise=1.0, rng=rng)
+        warm = est.fit(p, q, rss).warm
+        rss2 = rss + rng.normal(0.0, 0.4, rss.shape)
+        _WARM_POOL[n_samples] = (est, p, q, rss2, warm)
+    return _WARM_POOL[n_samples]
+
+
+class TestFitBatchBitIdentity:
+    def test_batch_equals_sequential_loop(self):
+        est, p, q, rss2, warm = _pooled_request(40)
+        requests = []
+        for i in range(6):
+            _est, pi, qi, ri, wi = _pooled_request(30 + 2 * i)
+            requests.append(FitRequest(p=pi, q=qi, rss=ri, warm=wi))
+        seq = [est.fit(r.p, r.q, r.rss, warm=r.warm) for r in requests]
+        bat = fit_batch(requests, default_estimator=est)
+        assert all(r.warm_started for r in seq)
+        for s, b in zip(seq, bat):
+            _assert_fits_identical(s, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.sampled_from([24, 30, 36, 40]), min_size=1,
+                    max_size=6))
+    def test_ragged_window_sizes_property(self, sizes):
+        """Any mix of window lengths — equal-length groups batch together,
+        the rest fall through — must reproduce the sequential loop bitwise."""
+        est = EllipticalEstimator()
+        requests = [FitRequest(p=p, q=q, rss=r, warm=w)
+                    for (_e, p, q, r, w)
+                    in (_pooled_request(n) for n in sizes)]
+        seq = [est.fit(r.p, r.q, r.rss, warm=r.warm) for r in requests]
+        bat = fit_batch(requests, default_estimator=est)
+        for s, b in zip(seq, bat):
+            _assert_fits_identical(s, b)
+
+    def test_cold_requests_match_sequential_cold(self):
+        est, p, q, rss2, _warm = _pooled_request(40)
+        requests = [FitRequest(p=p, q=q, rss=rss2)] * 3
+        seq = [est.fit(r.p, r.q, r.rss) for r in requests]
+        bat = fit_batch(requests, default_estimator=est)
+        for s, b in zip(seq, bat):
+            assert not b.warm_started
+            _assert_fits_identical(s, b)
+
+    def test_return_exceptions_isolates_bad_requests(self):
+        est, p, q, rss2, warm = _pooled_request(40)
+        bad = FitRequest(p=p[:3], q=q[:3], rss=rss2[:3])  # too few samples
+        good = FitRequest(p=p, q=q, rss=rss2, warm=warm)
+        results = fit_batch([good, bad, good], default_estimator=est,
+                            return_exceptions=True)
+        assert isinstance(results[1], ReproError)
+        _assert_fits_identical(results[0], results[2])
+        with pytest.raises(ReproError):
+            fit_batch([good, bad], default_estimator=est)
+
+    def test_rejected_warm_in_batch_matches_sequential_rejection(self):
+        est, p, q, rss2, _warm = _pooled_request(40)
+        stale = WarmStartState(x=-9.0, h=14.0, gamma=-90.0, n=4.4,
+                               rss_rmse=0.01)
+        req = FitRequest(p=p, q=q, rss=rss2, warm=stale)
+        obs.reset()
+        before = perf.counter_value("estimator.warm_rejected")
+        bat = fit_batch([req], default_estimator=est)
+        after = perf.counter_value("estimator.warm_rejected")
+        rejections = [e for e in obs.tail()
+                      if e.name == "solver.warm_rejected"]
+        obs.reset()
+        assert after - before == len(rejections) == 1
+        seq = est.fit(p, q, rss2, warm=stale)
+        assert not bat[0].warm_started
+        _assert_fits_identical(bat[0], seq)
+
+
+class TestSlidingWindowRegressor:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    def test_windowed_solution_matches_lstsq(self, seed):
+        """After any run of appends+evictions the incremental solve must
+        match a from-scratch least squares over the windowed rows."""
+        rng = np.random.default_rng(seed)
+        swr = SlidingWindowRegressor(3, refactor_every=16)
+        rows = []
+        for _ in range(rng.integers(4, 40)):
+            a = rng.normal(0, 2, 3)
+            y = float(rng.normal(0, 5))
+            swr.append(a, y)
+            rows.append((a, y))
+            if len(rows) > 5 and rng.random() < 0.4:
+                swr.evict_oldest()
+                rows.pop(0)
+        theta = swr.solve()
+        design = np.stack([a for a, _ in rows])
+        ys = np.array([y for _, y in rows])
+        expect, *_ = np.linalg.lstsq(design, ys, rcond=None)
+        if theta is None:
+            # The regressor may refuse an ill-conditioned window; the
+            # direct solve must then be fragile too.
+            s = np.linalg.svd(design, compute_uv=False)
+            assert s.min() <= s.max() * 1e-6 or len(rows) < 3
+        else:
+            assert np.allclose(theta, expect, rtol=1e-6, atol=1e-6)
+
+    def test_underdetermined_returns_none(self):
+        swr = SlidingWindowRegressor(4)
+        swr.append([1.0, 0.0, 0.0, 0.0], 1.0)
+        assert swr.solve() is None
+
+    def test_periodic_refactor_fires(self):
+        swr = SlidingWindowRegressor(2, refactor_every=8)
+        for i in range(20):
+            swr.append([1.0, float(i)], float(i))
+        assert swr.n_refactors >= 2
+        assert swr.ops_since_refactor < 8
+
+    def test_infeasible_downdate_falls_back_to_refactor(self):
+        swr = SlidingWindowRegressor(2, refactor_every=10 ** 6)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            swr.append(rng.normal(0, 1, 2), float(rng.normal()))
+        # Corrupt the factor so the next downdate cannot be feasible; the
+        # row log must transparently rebuild instead of raising.
+        swr._r = np.zeros_like(swr._r)
+        before = swr.n_refactors
+        swr.evict_oldest()
+        assert swr.n_refactors == before + 1
+        theta = swr.solve()
+        design = np.stack([a for a, _ in swr._rows])
+        ys = np.array([y for _, y in swr._rows])
+        expect, *_ = np.linalg.lstsq(design, ys, rcond=None)
+        assert np.allclose(theta, expect, rtol=1e-8)
+
+    def test_checkpoint_round_trip_bit_identical(self):
+        rng = np.random.default_rng(7)
+        swr = SlidingWindowRegressor(3, refactor_every=16)
+        for _ in range(12):
+            swr.append(rng.normal(0, 1, 3), float(rng.normal()))
+        cp = json.loads(json.dumps(swr.checkpoint()))
+        twin = SlidingWindowRegressor.restore(cp)
+        assert np.array_equal(twin.solve(), swr.solve())
+        # Divergence-free continuation: same future ops, same state.
+        for _ in range(5):
+            a, y = rng.normal(0, 1, 3), float(rng.normal())
+            swr.append(a, y)
+            twin.append(a, y)
+        swr.evict_oldest()
+        twin.evict_oldest()
+        assert np.array_equal(twin.solve(), swr.solve())
+        assert np.array_equal(twin._r, swr._r)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowRegressor(0)
+        swr = SlidingWindowRegressor(2)
+        with pytest.raises(ConfigurationError):
+            swr.append([1.0], 0.0)
+        with pytest.raises(EstimationError):
+            swr.append([math.nan, 1.0], 0.0)
+        with pytest.raises(EstimationError):
+            swr.evict_oldest()
+        with pytest.raises(EstimationError):
+            SlidingWindowRegressor.restore({"format": 99})
+
+
+class TestWarmChainedSeries:
+    def _session(self, seed=0):
+        from repro.sim.simulator import BeaconSpec, Simulator
+        from repro.world.scenarios import scenario
+        from repro.world.trajectory import l_shape
+
+        sc = scenario(1)
+        sim = Simulator(sc.floorplan, np.random.default_rng(seed))
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                       leg1=2.8, leg2=2.2)
+        return sim.simulate(walk, [BeaconSpec("b",
+                                              position=sc.beacon_position)])
+
+    def test_warm_chain_agrees_with_cold_series(self):
+        rec = self._session()
+        trace = rec.rssi_traces["b"]
+        imu = rec.observer_imu.trace
+        t_end = trace.timestamps()[-1]
+        times = list(np.arange(2.0, t_end, 0.5))
+        cold = LocBLE().estimate_series(trace, imu, times)
+        warm = LocBLE().estimate_series(trace, imu, times, warm_chain=True)
+        assert [t for t, _ in warm] == [t for t, _ in cold]
+        assert len(warm) >= 3
+        compared = 0
+        for (_t, w), (_t2, c) in zip(warm, cold):
+            # Pre-turn prefixes are mirror-ambiguous single-leg fits whose
+            # position is ill-determined either way; compare only steps
+            # both paths solved with a trusted covariance.
+            if (c.diagnostics.provenance.cov_status != "ok"
+                    or w.diagnostics.provenance.cov_status != "ok"):
+                continue
+            assert w.position.distance_to(c.position) < 0.75
+            compared += 1
+        assert compared >= 3
+        # The chain must actually take the fast path once it is seeded.
+        warm_started = [w.diagnostics.provenance.warm_started
+                        for _t, w in warm]
+        assert any(warm_started[1:])
+
+    def test_default_series_is_unchanged(self):
+        """warm_chain stays opt-in: the default path must not thread warm
+        state (per-prefix equivalence is asserted in test_core_pipeline)."""
+        rec = self._session()
+        trace = rec.rssi_traces["b"]
+        imu = rec.observer_imu.trace
+        t_end = trace.timestamps()[-1]
+        series = LocBLE().estimate_series(trace, imu, [t_end])
+        assert not series[0][1].diagnostics.provenance.warm_started
+
+
+class TestServiceBatchTick:
+    def _soak(self, **kw):
+        from repro.sim.faults import FaultModel
+        from repro.sim.soak import SoakConfig, run_soak
+
+        cfg = SoakConfig(
+            duration_s=40.0, seed=11,
+            fault=FaultModel(loss_rate=0.1), **kw,
+        )
+        return run_soak(cfg)
+
+    def test_tick_batch_matches_sequential_step(self):
+        from repro.sim.soak import _snapshot_key
+
+        seq = self._soak()
+        bat = self._soak(batch_ticks=True)
+        assert bat.untyped_errors == 0
+        assert sorted(seq.snapshots) == sorted(bat.snapshots)
+        for beacon_id, snaps in seq.snapshots.items():
+            other = bat.snapshots[beacon_id]
+            assert len(snaps) == len(other)
+            for a, b in zip(snaps, other):
+                assert _snapshot_key(a) == _snapshot_key(b)
+
+    def test_batch_mode_checkpoint_restore_bit_identical(self):
+        result = self._soak(batch_ticks=True, checkpoint_t=20.0)
+        assert result.untyped_errors == 0
+        assert result.checkpoint_equal is True
+
+
+class TestSessionWarmCheckpoint:
+    def test_warm_state_survives_checkpoint_round_trip(self):
+        from repro.sim.faults import FaultModel
+        from repro.sim.soak import SoakConfig, run_soak
+
+        result = run_soak(SoakConfig(
+            duration_s=60.0, seed=3, checkpoint_t=30.0,
+            fault=FaultModel(loss_rate=0.1),
+        ))
+        assert result.checkpoint_equal is True
+        assert result.counters.get("fixes_accepted", 0) > 0
