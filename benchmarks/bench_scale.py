@@ -1,0 +1,251 @@
+"""Fleet scale benchmark: fixes/sec, tail latency and shed rate vs load.
+
+Drives the sharded :class:`~repro.fleet.TrackingFleet` through
+:mod:`repro.fleet.loadtest` at several offered-load levels against a
+*fixed* fleet capacity, and writes ``BENCH_scale.json`` at the repo root
+with, per level:
+
+* offered samples/s and beacon count;
+* **fixes/sec** served (accepted fixes per wall-clock processing second);
+* **p50/p99 fix latency** (fix-weighted per-tick processing time);
+* **shed rate** (fraction of offered samples refused by any admission
+  layer — fleet cap, per-shard session cap, RSS-ring pressure).
+
+The top level deliberately exceeds the fleet's session capacity so the
+curve shows the admission layers doing their job (nonzero shed, bounded
+latency) instead of the unbounded-degradation failure mode.
+
+The run also performs a **live-migration equivalence check at load**: one
+level is replayed twice from the same generated stream, once with a
+mid-stream migration wave, once without — the two snapshot streams must be
+bit-identical, and the verdict is recorded in the report. The check runs
+at the within-capacity level: bit-identity is a property of *live
+sessions* (they ride the checkpoint wire format), while per-shard
+admission of **new** beacons is occupancy-dependent by design — migrating
+sessions changes shard occupancy, so under active admission pressure the
+two runs may admit different beacon sets. See docs/streaming.md.
+
+Run directly (``python benchmarks/bench_scale.py``), as the CI gate
+(``python benchmarks/bench_scale.py --smoke`` — tiny fleet, asserts
+nonzero fixes/sec and zero untyped errors, does not rewrite the committed
+report), or via pytest (``pytest benchmarks/bench_scale.py -m fleet``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.fleet import FleetConfig, LoadTestConfig, run_load_test, snapshot_key
+from repro.fleet.loadtest import LoadTestResult
+from repro.service import ServiceConfig, SessionConfig
+from repro.service.health import HealthConfig
+from repro.sim.load import LoadConfig, generate_load
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPORT_PATH = REPO_ROOT / "BENCH_scale.json"
+
+#: Offered-load levels (beacon counts) for the full run. Fleet capacity is
+#: held fixed at N_SHARDS * MAX_SESSIONS_PER_SHARD = 96 sessions, so the
+#: top level oversubscribes ~2x and must shed.
+LEVELS = (24, 96, 192)
+N_SHARDS = 4
+MAX_SESSIONS_PER_SHARD = 24
+DURATION_S = 45.0
+RATE_HZ = 5.0
+SEED = 11
+
+
+def _service_config() -> ServiceConfig:
+    return ServiceConfig(
+        session=SessionConfig(
+            window_s=20.0,
+            health=HealthConfig(stale_after_s=6.0, lost_after_s=60.0),
+        ),
+        imu_window_s=25.0,
+        max_sessions=MAX_SESSIONS_PER_SHARD,
+    )
+
+
+def _fleet_config(n_shards: int = N_SHARDS) -> FleetConfig:
+    return FleetConfig(n_shards=n_shards, service=_service_config())
+
+
+def _load_config(n_beacons: int, duration_s: float = DURATION_S) -> LoadConfig:
+    return LoadConfig(
+        duration_s=duration_s,
+        n_beacons=n_beacons,
+        template_beacons=min(4, n_beacons),
+        rate_hz=RATE_HZ,
+        arrival="poisson",
+        seed=SEED,
+    )
+
+
+def _level_row(n_beacons: int, result: LoadTestResult) -> Dict[str, object]:
+    return {
+        "n_beacons": n_beacons,
+        "offered_per_s": round(result.offered_per_s, 2),
+        "offered_samples": result.offered_samples,
+        "ticks": result.ticks,
+        "fixes_total": result.fixes_total,
+        "fixes_per_s": round(result.fixes_per_s, 2),
+        "fix_latency_p50_ms": round(result.fix_latency_p50_ms, 2),
+        "fix_latency_p99_ms": round(result.fix_latency_p99_ms, 2),
+        "shed_rate": round(result.shed_rate, 4),
+        "shed_samples": result.shed_samples,
+        "sessions": result.stats["sessions"],
+        "sessions_per_shard": result.stats["sessions_per_shard"],
+        "admission_refused": result.stats["admission_refused"],
+        "wall_s": round(result.wall_s, 2),
+        "untyped_errors": result.untyped_errors,
+        "errors": len(result.errors),
+    }
+
+
+def run_levels(
+    levels=LEVELS, duration_s: float = DURATION_S, n_shards: int = N_SHARDS
+) -> List[Dict[str, object]]:
+    rows = []
+    for n_beacons in levels:
+        result = run_load_test(LoadTestConfig(
+            fleet=_fleet_config(n_shards),
+            load=_load_config(n_beacons, duration_s),
+        ))
+        rows.append(_level_row(n_beacons, result))
+    return rows
+
+
+def run_migration_check(
+    n_beacons: int = LEVELS[0], duration_s: float = DURATION_S
+) -> Dict[str, object]:
+    """Replay one stream with and without a mid-run migration wave.
+
+    Returns the verdict dict recorded in the report; ``identical`` must be
+    True — a migrated session continues snapshot-identically. Runs within
+    fleet capacity (no admission pressure): occupancy-dependent admission
+    of new beacons is deliberately outside the bit-identity contract.
+    """
+    load = _load_config(n_beacons, duration_s)
+    stream = generate_load(load)
+    migrate_at = max(2, len(stream.ticks) // 2)
+    base = run_load_test(
+        LoadTestConfig(fleet=_fleet_config(), load=load), stream=stream)
+    moved = run_load_test(
+        LoadTestConfig(fleet=_fleet_config(), load=load,
+                       migrate_at_tick=migrate_at), stream=stream)
+    identical = sorted(base.snapshots) == sorted(moved.snapshots)
+    divergence = None
+    if identical:
+        for beacon_id, base_seq in base.snapshots.items():
+            moved_seq = moved.snapshots[beacon_id]
+            if len(base_seq) != len(moved_seq):
+                identical, divergence = False, beacon_id
+                break
+            for a, b in zip(base_seq, moved_seq):
+                if snapshot_key(a) != snapshot_key(b):
+                    identical, divergence = False, f"{beacon_id}@t={a.t}"
+                    break
+            if not identical:
+                break
+    return {
+        "n_beacons": n_beacons,
+        "migrate_at_tick": migrate_at,
+        "migrations": len(moved.migrations),
+        "identical": identical,
+        "first_divergence": divergence,
+    }
+
+
+def run_full() -> Dict[str, object]:
+    levels = run_levels()
+    migration = run_migration_check()
+    return {
+        "description": (
+            "Sharded tracking fleet under generated load: fixes/sec, "
+            "fix-latency percentiles and shed rate vs offered load, plus a "
+            "live-migration bit-identity check at load."
+        ),
+        "python": platform.python_version(),
+        "config": {
+            "n_shards": N_SHARDS,
+            "max_sessions_per_shard": MAX_SESSIONS_PER_SHARD,
+            "capacity_sessions": N_SHARDS * MAX_SESSIONS_PER_SHARD,
+            "duration_s": DURATION_S,
+            "rate_hz": RATE_HZ,
+            "arrival": "poisson",
+            "seed": SEED,
+        },
+        "levels": levels,
+        "migration_check": migration,
+    }
+
+
+def run_smoke() -> Dict[str, object]:
+    """The CI gate: a tiny fleet that must serve fixes with typed failures
+    only. Small enough for a pull-request loop (~10 s)."""
+    rows = run_levels(levels=(8,), duration_s=30.0, n_shards=2)
+    return {"levels": rows}
+
+
+# -- pytest entry points (excluded from tier-1 via the fleet marker) ----------
+
+
+@pytest.mark.fleet
+def test_bench_scale_smoke():
+    report = run_smoke()
+    row = report["levels"][0]
+    assert row["fixes_per_s"] > 0, row
+    assert row["untyped_errors"] == 0, row
+
+
+@pytest.mark.fleet
+def test_bench_scale_migration_identical():
+    verdict = run_migration_check(n_beacons=12, duration_s=30.0)
+    assert verdict["migrations"] > 0, verdict
+    assert verdict["identical"], verdict
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI gate: nonzero fixes/sec, zero untyped "
+                             "errors; does not rewrite BENCH_scale.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_smoke()
+        row = report["levels"][0]
+        print(json.dumps(row, indent=2))
+        ok = row["fixes_per_s"] > 0 and row["untyped_errors"] == 0
+        print("smoke:", "OK" if ok else "FAILED")
+        return 0 if ok else 1
+
+    report = run_full()
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["levels"]:
+        print(f"beacons={row['n_beacons']:4d} "
+              f"offered={row['offered_per_s']:7.1f}/s "
+              f"fixes/s={row['fixes_per_s']:7.1f} "
+              f"p50={row['fix_latency_p50_ms']:7.1f}ms "
+              f"p99={row['fix_latency_p99_ms']:8.1f}ms "
+              f"shed={row['shed_rate']:6.1%} "
+              f"untyped={row['untyped_errors']}")
+    mig = report["migration_check"]
+    print(f"migration check: {mig['migrations']} sessions moved -> "
+          f"{'bit-identical' if mig['identical'] else 'DIVERGED'}")
+    print(f"wrote {REPORT_PATH}")
+    ok = (all(r["untyped_errors"] == 0 and r["fixes_per_s"] > 0
+              for r in report["levels"])
+          and mig["identical"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from repro.core import (
     LocBLE,
     Navigator,
 )
+from repro.fleet import FleetConfig, ShardRouter, TrackingFleet
 from repro.service import (
     ServiceConfig,
     SessionConfig,
@@ -65,5 +66,6 @@ __all__ = [
     "ImuTrace", "LocationEstimate", "RssiTrace", "Vec2", "Floorplan",
     "Trajectory", "l_shape", "straight_walk", "SCENARIOS", "Scenario",
     "scenario", "ServiceConfig", "SessionConfig", "SessionState",
-    "TrackingService", "TrackingSession", "__version__",
+    "TrackingService", "TrackingSession",
+    "FleetConfig", "ShardRouter", "TrackingFleet", "__version__",
 ]

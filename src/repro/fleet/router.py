@@ -1,0 +1,98 @@
+"""Deterministic beacon-id → shard routing for the tracking fleet.
+
+Placement must be a pure function of the beacon id (plus an optional salt)
+so that every component — ingest paths, operators, a restarted process —
+agrees on where a beacon lives without coordination. The hash is BLAKE2b,
+not the builtin ``hash()``: the builtin is salted per process, which would
+scatter a fleet's sessions differently on every restart and break the
+bit-identical checkpoint/restore story.
+
+Live migration needs routing to *diverge* from the hash: after a session
+moves (rebalance, drain, upgrade), its traffic must follow it. The router
+therefore layers an explicit pin table over the hash — ``shard_for`` is
+``pins.get(beacon_id, hash % n_shards)`` — and the pin table is part of
+the fleet checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError, DataQualityError
+from repro.service.checkpoint import restore_guard
+
+__all__ = ["ShardRouter"]
+
+#: Checkpoint schema version written by :meth:`ShardRouter.checkpoint`.
+ROUTER_CHECKPOINT_FORMAT = 1
+
+
+def _stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of ``key`` (salted ``hash()`` won't do)."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Maps beacon ids to shard indices: stable hash plus migration pins."""
+
+    def __init__(self, n_shards: int, salt: str = ""):
+        if n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        self.n_shards = int(n_shards)
+        self.salt = salt
+        self.pins: Dict[str, int] = {}
+
+    def hash_shard(self, beacon_id: str) -> int:
+        """The pure-hash placement, ignoring pins."""
+        return _stable_hash(f"{self.salt}:{beacon_id}") % self.n_shards
+
+    def shard_for(self, beacon_id: str) -> int:
+        """Where this beacon's traffic goes right now."""
+        pinned = self.pins.get(beacon_id)
+        return self.hash_shard(beacon_id) if pinned is None else pinned
+
+    def pin(self, beacon_id: str, shard: int) -> None:
+        """Route ``beacon_id`` to ``shard`` regardless of its hash.
+
+        Pinning back to the hash shard erases the pin — the table only
+        holds genuine divergences, keeping it small after a rebalance.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range [0, {self.n_shards})"
+            )
+        if shard == self.hash_shard(beacon_id):
+            self.pins.pop(beacon_id, None)
+        else:
+            self.pins[beacon_id] = shard
+
+    def unpin(self, beacon_id: str) -> None:
+        self.pins.pop(beacon_id, None)
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            "format": ROUTER_CHECKPOINT_FORMAT,
+            "n_shards": self.n_shards,
+            "salt": self.salt,
+            "pins": dict(sorted(self.pins.items())),
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "ShardRouter":
+        if not isinstance(cp, dict) or cp.get("format") != ROUTER_CHECKPOINT_FORMAT:
+            raise DataQualityError("unsupported router checkpoint")
+        with restore_guard("router"):
+            router = cls(int(cp["n_shards"]), salt=str(cp["salt"]))
+            for beacon_id, shard in cp["pins"].items():
+                shard = int(shard)
+                if not 0 <= shard < router.n_shards:
+                    raise DataQualityError(
+                        f"router checkpoint: pin {beacon_id!r} -> {shard} "
+                        f"outside [0, {router.n_shards})"
+                    )
+                router.pins[str(beacon_id)] = shard
+        return router

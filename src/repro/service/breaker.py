@@ -29,16 +29,27 @@ from typing import Any, Dict, Optional
 
 from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError
+from repro.service.checkpoint import require_finite, restore_guard
 
 __all__ = [
     "BreakerConfig",
     "BackoffConfig",
     "CircuitBreaker",
     "ExponentialBackoff",
+    "MAX_BACKOFF_ATTEMPT",
 ]
 
 #: Checkpoint schema version for both classes in this module.
 BREAKER_CHECKPOINT_FORMAT = 1
+
+#: Failure streaks are clamped here. Every sane config saturates its delay
+#: at ``max_s`` orders of magnitude earlier, so the clamp never changes a
+#: schedule that matters — it exists because ``factor ** attempt`` in float
+#: arithmetic raises :class:`OverflowError` past ``~2**1024`` (attempt
+#: ~1025 at the default factor 2.0), i.e. a session that never recovers
+#: would crash its supervisor after a long soak. Past the clamp the delay
+#: (including its hash-derived jitter) is frozen at the clamp's value.
+MAX_BACKOFF_ATTEMPT = 10_000
 
 
 def _unit_hash(key: str, attempt: int) -> float:
@@ -92,15 +103,34 @@ class ExponentialBackoff:
         return self.next_ready_t is None or t >= self.next_ready_t
 
     def delay_for(self, attempt: int) -> float:
-        """The (jittered, capped) delay scheduled after failure ``attempt``."""
+        """The (jittered, capped) delay scheduled after failure ``attempt``.
+
+        Saturation is decided in log space *before* the power is evaluated:
+        once ``(attempt - 1) · log(factor)`` provably exceeds
+        ``log(max_s / base_s)`` the uncapped delay would only be clamped to
+        ``max_s`` anyway, so the overflow-prone ``factor ** (attempt - 1)``
+        is never computed for large streaks. Below saturation the original
+        expression is evaluated unchanged, keeping historical schedules
+        bit-identical.
+        """
         cfg = self.config
-        raw = min(cfg.base_s * cfg.factor ** (attempt - 1), cfg.max_s)
+        attempt = min(attempt, MAX_BACKOFF_ATTEMPT)
+        log_factor = math.log(cfg.factor)
+        # +1.0 margin: only short-circuit when the uncapped delay exceeds
+        # max_s by at least a factor of e, so float rounding near the
+        # boundary can never flip a sub-cap delay to the capped value.
+        if log_factor > 0.0 and (
+            (attempt - 1) * log_factor > math.log(cfg.max_s / cfg.base_s) + 1.0
+        ):
+            raw = cfg.max_s
+        else:
+            raw = min(cfg.base_s * cfg.factor ** (attempt - 1), cfg.max_s)
         jitter = 1.0 + cfg.jitter_frac * (2.0 * _unit_hash(self.key, attempt) - 1.0)
         return raw * jitter
 
     def on_failure(self, t: float) -> float:
         """Record a transient failure; returns the scheduled delay."""
-        self.attempt += 1
+        self.attempt = min(self.attempt + 1, MAX_BACKOFF_ATTEMPT)
         delay = self.delay_for(self.attempt)
         self.next_ready_t = t + delay
         return delay
@@ -124,10 +154,17 @@ class ExponentialBackoff:
     ) -> "ExponentialBackoff":
         if not isinstance(cp, dict) or cp.get("format") != BREAKER_CHECKPOINT_FORMAT:
             raise DataQualityError("unsupported backoff checkpoint")
-        backoff = cls(config, key=str(cp["key"]))
-        backoff.attempt = int(cp["attempt"])
-        nxt = cp["next_ready_t"]
-        backoff.next_ready_t = None if nxt is None else float(nxt)
+        with restore_guard("backoff"):
+            backoff = cls(config, key=str(cp["key"]))
+            attempt = int(cp["attempt"])
+            if attempt < 0:
+                raise DataQualityError(
+                    f"backoff checkpoint: attempt must be >= 0, got {attempt}"
+                )
+            backoff.attempt = min(attempt, MAX_BACKOFF_ATTEMPT)
+            backoff.next_ready_t = require_finite(
+                "backoff", "next_ready_t", cp["next_ready_t"], allow_none=True
+            )
         return backoff
 
 
@@ -258,13 +295,34 @@ class CircuitBreaker:
     ) -> "CircuitBreaker":
         if not isinstance(cp, dict) or cp.get("format") != BREAKER_CHECKPOINT_FORMAT:
             raise DataQualityError("unsupported breaker checkpoint")
-        if cp["state"] not in cls.STATES:
-            raise DataQualityError(f"unknown breaker state {cp['state']!r}")
-        breaker = cls(config, key=str(cp["key"]))
-        breaker.state = cp["state"]
-        breaker.consecutive_failures = int(cp["consecutive_failures"])
-        breaker.trips = int(cp["trips"])
-        opened = cp["opened_t"]
-        breaker._opened_t = None if opened is None else float(opened)
-        breaker._cooldown_s = float(cp["cooldown_s"])
+        with restore_guard("breaker"):
+            if cp["state"] not in cls.STATES:
+                raise DataQualityError(
+                    f"unknown breaker state {cp['state']!r}"
+                )
+            breaker = cls(config, key=str(cp["key"]))
+            breaker.state = cp["state"]
+            breaker.consecutive_failures = int(cp["consecutive_failures"])
+            breaker.trips = int(cp["trips"])
+            if breaker.consecutive_failures < 0 or breaker.trips < 0:
+                raise DataQualityError(
+                    "breaker checkpoint: counters must be >= 0"
+                )
+            breaker._opened_t = require_finite(
+                "breaker", "opened_t", cp["opened_t"], allow_none=True
+            )
+            cooldown = require_finite("breaker", "cooldown_s", cp["cooldown_s"])
+            if cooldown <= 0.0:
+                raise DataQualityError(
+                    f"breaker checkpoint: cooldown_s must be > 0, "
+                    f"got {cooldown!r}"
+                )
+            breaker._cooldown_s = cooldown
+            # Cross-field consistency: an OPEN circuit without its opening
+            # time would crash the next allow(t) on `t - None`. Reject the
+            # checkpoint as data, not at first use.
+            if breaker.state == cls.OPEN and breaker._opened_t is None:
+                raise DataQualityError(
+                    "breaker checkpoint: state 'open' requires opened_t"
+                )
         return breaker

@@ -1,0 +1,70 @@
+"""Checkpoint restore hardening shared by every supervised layer.
+
+The restore contract (see ``docs/streaming.md``) is that a malformed,
+truncated or cross-field-inconsistent checkpoint is *data*, not a caller
+bug: ``restore`` must diagnose it with a typed
+:class:`~repro.errors.DataQualityError` (or
+:class:`~repro.errors.ConfigurationError` when the embedded config is
+invalid), never leak a ``KeyError``/``TypeError``/``ValueError`` from the
+parsing internals. :func:`restore_guard` enforces that contract in one
+place so each layer's ``restore`` can be written against the happy path;
+:func:`require_finite` covers the recurring cross-field case of a numeric
+field that must be a finite float (or, optionally, absent).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ConfigurationError, DataQualityError
+
+__all__ = ["restore_guard", "require_finite"]
+
+
+@contextmanager
+def restore_guard(what: str) -> Iterator[None]:
+    """Convert parsing accidents inside a ``restore`` into typed errors.
+
+    Typed diagnoses (:class:`DataQualityError`, :class:`ConfigurationError`)
+    pass through untouched; the untyped exceptions a corrupted dict provokes
+    (missing keys, ``float(None)``, wrong shapes, arithmetic overflow) are
+    re-raised as ``DataQualityError`` naming the layer, with the original
+    exception chained for forensics.
+    """
+    try:
+        yield
+    except (DataQualityError, ConfigurationError):
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError,
+            OverflowError) as exc:
+        raise DataQualityError(
+            f"malformed {what} checkpoint: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def require_finite(
+    what: str, field: str, value: object, allow_none: bool = False
+) -> Optional[float]:
+    """Parse a checkpoint field that must be a finite float.
+
+    With ``allow_none`` a ``None`` passes through (the field is legitimately
+    unset, e.g. a breaker that never opened); anything else must convert to
+    a finite float or the checkpoint is rejected as inconsistent.
+    """
+    if value is None:
+        if allow_none:
+            return None
+        raise DataQualityError(f"{what} checkpoint: {field} must not be null")
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise DataQualityError(
+            f"{what} checkpoint: {field} is not a number: {value!r}"
+        ) from exc
+    if not math.isfinite(out):
+        raise DataQualityError(
+            f"{what} checkpoint: {field} must be finite, got {out!r}"
+        )
+    return out

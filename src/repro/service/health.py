@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError
+from repro.service.checkpoint import restore_guard
 
 __all__ = ["SessionState", "HealthConfig", "HealthMachine"]
 
@@ -168,19 +169,22 @@ class HealthMachine:
     ) -> "HealthMachine":
         if not isinstance(cp, dict) or cp.get("format") != HEALTH_CHECKPOINT_FORMAT:
             raise DataQualityError("unsupported health-machine checkpoint")
-        if cp["state"] not in SessionState.ALL:
-            raise DataQualityError(f"unknown session state {cp['state']!r}")
-        machine = cls(config)
-        machine.state = cp["state"]
-        machine._entered_t = float(cp["entered_t"])
-        last = cp["last_good_t"]
-        machine._last_good_t = None if last is None else float(last)
-        machine._good_streak = int(cp["good_streak"])
-        machine._dwell = {s: float(cp["dwell"].get(s, 0.0))
-                          for s in SessionState.ALL}
-        machine.transitions = [
-            (float(t), str(a), str(b)) for t, a, b in cp["transitions"]
-        ]
+        with restore_guard("health-machine"):
+            if cp["state"] not in SessionState.ALL:
+                raise DataQualityError(
+                    f"unknown session state {cp['state']!r}"
+                )
+            machine = cls(config)
+            machine.state = cp["state"]
+            machine._entered_t = float(cp["entered_t"])
+            last = cp["last_good_t"]
+            machine._last_good_t = None if last is None else float(last)
+            machine._good_streak = int(cp["good_streak"])
+            machine._dwell = {s: float(cp["dwell"].get(s, 0.0))
+                              for s in SessionState.ALL}
+            machine.transitions = [
+                (float(t), str(a), str(b)) for t, a, b in cp["transitions"]
+            ]
         return machine
 
     # -- internals -----------------------------------------------------------

@@ -28,6 +28,7 @@ from repro import obs, perf
 from repro.core.estimator import fit_batch
 from repro.errors import ConfigurationError, DataQualityError
 from repro.service.buffers import BoundedBuffer
+from repro.service.checkpoint import restore_guard
 from repro.service.session import (
     PipelineFactory,
     SessionConfig,
@@ -41,6 +42,12 @@ __all__ = ["ServiceConfig", "TrackingService"]
 
 #: Checkpoint schema version written by :meth:`TrackingService.checkpoint`.
 SERVICE_CHECKPOINT_FORMAT = 1
+
+#: How many distinct refused beacon ids the service remembers for the
+#: ``sessions_shed`` dedup. Beyond this (a beacon-id spam storm well past
+#: the session cap) a repeat offender may be double counted rather than the
+#: set growing without bound — "bounded everything" wins over exactness.
+SHED_ID_MEMORY = 4096
 
 
 @dataclass(frozen=True)
@@ -83,7 +90,12 @@ class TrackingService:
         self._pipeline_factory = pipeline_factory
         self.sessions: Dict[str, TrackingSession] = {}
         self.imu = BoundedBuffer[ImuSample](self.config.imu_buffer, name="imu")
+        #: Distinct beacons refused at the session cap (not samples — see
+        #: :attr:`shed_samples` for the sample count).
         self.sessions_shed = 0
+        #: Scan samples dropped because their beacon was refused.
+        self.shed_samples = 0
+        self._shed_beacons: set = set()
         self.restores = 0
 
     # -- ingestion -----------------------------------------------------------
@@ -94,7 +106,8 @@ class TrackingService:
 
         Unknown beacons get a fresh session — up to ``max_sessions``, beyond
         which their traffic is shed with a counted
-        ``service.sessions_shed`` event.
+        ``service.session_shed`` event. ``sessions_shed`` counts *distinct*
+        refused beacons; ``shed_samples`` the samples dropped with them.
         """
         taken = 0
         by_beacon: Dict[str, list] = {}
@@ -104,16 +117,20 @@ class TrackingService:
             session = self.sessions.get(beacon_id)
             if session is None:
                 if len(self.sessions) >= self.config.max_sessions:
-                    self.sessions_shed += len(by_beacon[beacon_id])
-                    perf.count(
-                        "service.sessions_shed", len(by_beacon[beacon_id])
-                    )
+                    n = len(by_beacon[beacon_id])
+                    self.shed_samples += n
+                    perf.count("service.shed_samples", n)
+                    if beacon_id not in self._shed_beacons:
+                        if len(self._shed_beacons) < SHED_ID_MEMORY:
+                            self._shed_beacons.add(beacon_id)
+                        self.sessions_shed += 1
+                        perf.count("service.sessions_shed")
                     obs.emit(
                         "service.session_shed",
                         severity="warning",
                         component="service",
                         beacon=str(beacon_id),
-                        samples=len(by_beacon[beacon_id]),
+                        samples=n,
                         max_sessions=self.config.max_sessions,
                     )
                     continue
@@ -210,6 +227,7 @@ class TrackingService:
         return {
             "sessions": len(self.sessions),
             "sessions_shed": self.sessions_shed,
+            "shed_samples": self.shed_samples,
             "restores": self.restores,
             "imu": self.imu.stats(),
             "rss_shed": sum(s.rss.shed for s in self.sessions.values()),
@@ -244,6 +262,8 @@ class TrackingService:
             ],
             "imu_shed": self.imu.shed,
             "sessions_shed": self.sessions_shed,
+            "shed_samples": self.shed_samples,
+            "shed_beacon_ids": sorted(self._shed_beacons),
             "restores": self.restores,
             "sessions": {
                 beacon_id: session.checkpoint()
@@ -265,29 +285,40 @@ class TrackingService:
         """
         if not isinstance(cp, dict) or cp.get("format") != SERVICE_CHECKPOINT_FORMAT:
             raise DataQualityError("unsupported service checkpoint")
-        cfg = cp["config"]
-        service = cls(
-            ServiceConfig(
-                session=SessionConfig.from_dict(cfg["session"]),
-                imu_buffer=int(cfg["imu_buffer"]),
-                imu_window_s=float(cfg["imu_window_s"]),
-                max_sessions=int(cfg["max_sessions"]),
-            ),
-            pipeline_factory=pipeline_factory,
-        )
-        for row in cp["imu"]:
-            t, accel, gyro_z, mag_heading = row
-            service.imu.append(
-                ImuSample(float(t), float(accel), float(gyro_z),
-                          float(mag_heading))
+        with restore_guard("service"):
+            cfg = cp["config"]
+            service = cls(
+                ServiceConfig(
+                    session=SessionConfig.from_dict(cfg["session"]),
+                    imu_buffer=int(cfg["imu_buffer"]),
+                    imu_window_s=float(cfg["imu_window_s"]),
+                    max_sessions=int(cfg["max_sessions"]),
+                ),
+                pipeline_factory=pipeline_factory,
             )
-        service.imu.shed = int(cp["imu_shed"])
-        service.sessions_shed = int(cp["sessions_shed"])
-        service.restores = int(cp["restores"]) + 1
-        for beacon_id, session_cp in cp["sessions"].items():
-            service.sessions[str(beacon_id)] = TrackingSession.restore(
-                session_cp, pipeline_factory=pipeline_factory
-            )
+            for row in cp["imu"]:
+                t, accel, gyro_z, mag_heading = row
+                service.imu.append(
+                    ImuSample(float(t), float(accel), float(gyro_z),
+                              float(mag_heading))
+                )
+            service.imu.shed = int(cp["imu_shed"])
+            if "shed_samples" in cp:
+                service.sessions_shed = int(cp["sessions_shed"])
+                service.shed_samples = int(cp["shed_samples"])
+                service._shed_beacons = {
+                    str(b) for b in cp.get("shed_beacon_ids", ())
+                }
+            else:
+                # Pre-split checkpoint: the old `sessions_shed` counted
+                # samples, and the distinct-beacon count was never recorded.
+                service.shed_samples = int(cp["sessions_shed"])
+                service.sessions_shed = 0
+            service.restores = int(cp["restores"]) + 1
+            for beacon_id, session_cp in cp["sessions"].items():
+                service.sessions[str(beacon_id)] = TrackingSession.restore(
+                    session_cp, pipeline_factory=pipeline_factory
+                )
         perf.count("service.service_restores")
         obs.emit(
             "service.restored",

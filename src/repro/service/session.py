@@ -55,6 +55,7 @@ from repro.service.breaker import (
     ExponentialBackoff,
 )
 from repro.service.buffers import BoundedBuffer
+from repro.service.checkpoint import restore_guard
 from repro.obs.provenance import FixProvenance
 from repro.service.health import HealthConfig, HealthMachine, SessionState
 from repro.types import ImuTrace, LocationEstimate, RssiSample, RssiTrace
@@ -626,37 +627,42 @@ class TrackingSession:
         """
         if not isinstance(cp, dict) or cp.get("format") != SESSION_CHECKPOINT_FORMAT:
             raise DataQualityError("unsupported session checkpoint")
-        session = cls(
-            str(cp["beacon_id"]),
-            config=SessionConfig.from_dict(cp["config"]),
-            pipeline_factory=pipeline_factory,
-        )
-        session.tracker = BeaconTracker.restore(cp["tracker"])
-        session.health = HealthMachine.restore(
-            cp["health"], session.config.health
-        )
-        session.breaker = CircuitBreaker.restore(
-            cp["breaker"], session.config.breaker
-        )
-        session.backoff = ExponentialBackoff.restore(
-            cp["backoff"], session.config.backoff
-        )
-        for row in cp["rss"]:
-            t, rssi, channel = row
-            session.rss.append(
-                RssiSample(float(t), float(rssi), session.beacon_id,
-                           int(channel))
+        with restore_guard("session"):
+            session = cls(
+                str(cp["beacon_id"]),
+                config=SessionConfig.from_dict(cp["config"]),
+                pipeline_factory=pipeline_factory,
             )
-        session.rss.shed = int(cp["rss_shed"])
-        last = cp["last_solve_t"]
-        session.last_solve_t = None if last is None else float(last)
-        env_t = cp["last_env_change_t"]
-        session._last_env_change_t = None if env_t is None else float(env_t)
-        session.counters.update(
-            {str(k): int(v) for k, v in cp["counters"].items()}
-        )
-        warm = cp.get("warm")  # absent in pre-warm-start checkpoints
-        session._warm = None if warm is None else WarmStartState.from_dict(warm)
+            session.tracker = BeaconTracker.restore(cp["tracker"])
+            session.health = HealthMachine.restore(
+                cp["health"], session.config.health
+            )
+            session.breaker = CircuitBreaker.restore(
+                cp["breaker"], session.config.breaker
+            )
+            session.backoff = ExponentialBackoff.restore(
+                cp["backoff"], session.config.backoff
+            )
+            for row in cp["rss"]:
+                t, rssi, channel = row
+                session.rss.append(
+                    RssiSample(float(t), float(rssi), session.beacon_id,
+                               int(channel))
+                )
+            session.rss.shed = int(cp["rss_shed"])
+            last = cp["last_solve_t"]
+            session.last_solve_t = None if last is None else float(last)
+            env_t = cp["last_env_change_t"]
+            session._last_env_change_t = (
+                None if env_t is None else float(env_t)
+            )
+            session.counters.update(
+                {str(k): int(v) for k, v in cp["counters"].items()}
+            )
+            warm = cp.get("warm")  # absent in pre-warm-start checkpoints
+            session._warm = (
+                None if warm is None else WarmStartState.from_dict(warm)
+            )
         perf.count("service.restores")
         obs.emit(
             "session.restored",

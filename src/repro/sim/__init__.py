@@ -13,6 +13,7 @@ from repro.sim.faults import (
 from repro.sim.montecarlo import (
     TrialSummary, empirical_cdf, stationary_trials, summarize,
 )
+from repro.sim.load import LoadConfig, LoadStream, generate_load
 from repro.sim.parallel import TrialResult, effective_workers, run_trials
 from repro.sim.simulator import BeaconSpec, MeasurementRecord, Simulator
 from repro.sim.soak import SoakConfig, SoakResult, long_walk, run_soak
@@ -35,6 +36,7 @@ __all__ = [
     "inject_clock_faults", "inject_nonfinite", "inject_outages",
     "inject_spikes",
     "SoakConfig", "SoakResult", "long_walk", "run_soak",
+    "LoadConfig", "LoadStream", "generate_load",
     "imu_trace_from_dict",
     "imu_trace_to_dict", "load_session", "rssi_trace_from_dict",
     "rssi_trace_to_dict", "save_session",

@@ -1,0 +1,385 @@
+"""Tests for the sharded tracking fleet (repro.fleet).
+
+Fast unit tests (stub pipelines) run in tier-1; the end-to-end load tests
+that drive the real pipeline carry the ``fleet`` marker and are excluded
+by default (run with ``-m fleet``).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, DataQualityError
+from repro.fleet import (
+    FleetConfig,
+    LoadTestConfig,
+    ShardRouter,
+    TrackingFleet,
+    run_load_test,
+    snapshot_key,
+)
+from repro.service import ServiceConfig, TrackingService
+from repro.types import ImuSample, LocationEstimate, RssiSample, Vec2
+
+
+class _StubEstimator:
+    min_samples = 3
+
+
+class _OkPipeline:
+    """Deterministic always-succeeds pipeline (fix derived from stream t)."""
+
+    def __init__(self):
+        self.estimator = _StubEstimator()
+
+    def estimate(self, trace, imu, warm=None, extra_seeds=()):
+        t = trace.samples[-1].timestamp
+        return LocationEstimate(
+            position=Vec2(0.1 * t, 1.0), confidence=0.9, position_std=0.5
+        )
+
+
+def make_fleet(n_shards=2, max_sessions=256, max_total=None, salt=""):
+    # batch_ticks=False: the stub pipeline implements only the sequential
+    # solve protocol (tick_batch is bit-identical by contract and is
+    # exercised with the real pipeline in the fleet-marked tests below).
+    return TrackingFleet(
+        FleetConfig(
+            n_shards=n_shards,
+            service=ServiceConfig(max_sessions=max_sessions),
+            max_total_sessions=max_total,
+            router_salt=salt,
+            batch_ticks=False,
+        ),
+        pipeline_factory=_OkPipeline,
+    )
+
+
+def scans_for(t, beacon_ids):
+    return [
+        RssiSample(t - off, -60.0, bid, 37)
+        for bid in beacon_ids for off in (0.3, 0.2, 0.1)
+    ]
+
+
+def imu_for(t):
+    return [ImuSample(t - 0.4 + 0.1 * i, 0.5, 0.0, 0.0) for i in range(4)]
+
+
+def feed_fleet(fleet, t, beacon_ids):
+    fleet.ingest_scans(scans_for(t, beacon_ids))
+    fleet.ingest_imu(imu_for(t))
+    return fleet.tick(t)
+
+
+BEACONS = tuple(f"beacon-{k}" for k in range(8))
+
+
+class TestShardRouter:
+    def test_placement_is_process_stable(self):
+        a = ShardRouter(4)
+        b = ShardRouter(4)
+        ids = [f"b{i}" for i in range(64)]
+        assert [a.shard_for(i) for i in ids] == [b.shard_for(i) for i in ids]
+        assert all(0 <= a.shard_for(i) < 4 for i in ids)
+
+    def test_all_shards_get_traffic(self):
+        router = ShardRouter(4)
+        hit = {router.shard_for(f"b{i}") for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_salt_moves_placements(self):
+        plain = ShardRouter(4)
+        salted = ShardRouter(4, salt="deployment-2")
+        ids = [f"b{i}" for i in range(64)]
+        assert ([plain.shard_for(i) for i in ids]
+                != [salted.shard_for(i) for i in ids])
+
+    def test_pins_override_hash_and_home_pin_erases(self):
+        router = ShardRouter(4)
+        home = router.hash_shard("x")
+        other = (home + 1) % 4
+        router.pin("x", other)
+        assert router.shard_for("x") == other and "x" in router.pins
+        router.pin("x", home)
+        assert router.shard_for("x") == home and not router.pins
+        with pytest.raises(ConfigurationError):
+            router.pin("x", 4)
+
+    def test_checkpoint_roundtrip_and_validation(self):
+        router = ShardRouter(3, salt="s")
+        router.pin("a", (router.hash_shard("a") + 1) % 3)
+        restored = ShardRouter.restore(
+            json.loads(json.dumps(router.checkpoint())))
+        assert restored.shard_for("a") == router.shard_for("a")
+        assert restored.pins == router.pins
+        with pytest.raises(DataQualityError):
+            ShardRouter.restore({"format": 99})
+        cp = router.checkpoint()
+        cp["pins"] = {"a": 7}
+        with pytest.raises(DataQualityError):
+            ShardRouter.restore(cp)
+
+
+class TestFleetRouting:
+    def test_sessions_land_on_their_hash_shard(self):
+        fleet = make_fleet(n_shards=3)
+        feed_fleet(fleet, 1.0, BEACONS)
+        for bid in BEACONS:
+            assert fleet.shard_of(bid) == fleet.router.shard_for(bid)
+        assert fleet.total_sessions == len(BEACONS)
+
+    def test_matches_single_service_bit_for_bit(self):
+        # Sharding is pure partitioning: per-beacon snapshot streams must
+        # equal one unsharded service fed the same stream.
+        fleet = make_fleet(n_shards=3)
+        svc = TrackingService(ServiceConfig(), pipeline_factory=_OkPipeline)
+        for k in range(1, 6):
+            t = float(k)
+            fleet_snaps = feed_fleet(fleet, t, BEACONS)
+            svc.ingest_scans(scans_for(t, BEACONS))
+            svc.ingest_imu(imu_for(t))
+            svc_snaps = svc.step(t)
+            assert sorted(fleet_snaps) == sorted(svc_snaps)
+            for bid in svc_snaps:
+                assert snapshot_key(fleet_snaps[bid]) == snapshot_key(
+                    svc_snaps[bid])
+
+    def test_fleet_admission_cap_refuses_new_beacons(self):
+        fleet = make_fleet(n_shards=2, max_total=4)
+        feed_fleet(fleet, 1.0, BEACONS[:4])
+        assert fleet.total_sessions == 4
+        snaps = feed_fleet(fleet, 2.0, BEACONS)  # 4 more knock on the door
+        assert fleet.total_sessions == 4
+        assert sorted(snaps) == sorted(BEACONS[:4])  # admitted still served
+        assert fleet.admission_refused == 4
+        assert fleet.refused_samples == 4 * 3
+        feed_fleet(fleet, 3.0, BEACONS)
+        assert fleet.admission_refused == 4  # distinct beacons, not samples
+        assert fleet.refused_samples == 8 * 3
+
+    def test_per_shard_cap_still_applies(self):
+        fleet = make_fleet(n_shards=2, max_sessions=1)
+        feed_fleet(fleet, 1.0, BEACONS)
+        stats = fleet.stats()
+        assert stats["sessions"] == 2  # one per shard
+        assert stats["sessions_shed"] == len(BEACONS) - 2
+
+    def test_nonfinite_tick_rejected(self):
+        fleet = make_fleet()
+        with pytest.raises(ConfigurationError):
+            fleet.tick(float("nan"))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(n_shards=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(max_total_sessions=0)
+
+
+class TestMigration:
+    def test_snapshot_stream_identical_with_and_without_migration(self):
+        # The tentpole property: a migrated session continues exactly as
+        # if it had never moved.
+        base = make_fleet(n_shards=2)
+        moved = make_fleet(n_shards=2)
+        history_a, history_b = [], []
+        for k in range(1, 9):
+            t = float(k)
+            if k == 5:
+                for bid in BEACONS[::2]:
+                    src = moved.shard_of(bid)
+                    moved.migrate(bid, (src + 1) % 2)
+            history_a.append(feed_fleet(base, t, BEACONS))
+            history_b.append(feed_fleet(moved, t, BEACONS))
+        assert moved.migrations == len(BEACONS[::2])
+        for snaps_a, snaps_b in zip(history_a, history_b):
+            assert sorted(snaps_a) == sorted(snaps_b)
+            for bid in snaps_a:
+                assert snapshot_key(snaps_a[bid]) == snapshot_key(
+                    snaps_b[bid])
+
+    def test_traffic_follows_the_pin(self):
+        fleet = make_fleet(n_shards=2)
+        feed_fleet(fleet, 1.0, BEACONS[:2])
+        bid = BEACONS[0]
+        dst = (fleet.shard_of(bid) + 1) % 2
+        fleet.migrate(bid, dst)
+        assert fleet.shard_of(bid) == dst
+        feed_fleet(fleet, 2.0, BEACONS[:2])
+        assert fleet.shard_of(bid) == dst  # new scans did not re-home it
+
+    def test_migrate_validation(self):
+        fleet = make_fleet(n_shards=2)
+        feed_fleet(fleet, 1.0, BEACONS[:1])
+        with pytest.raises(ConfigurationError):
+            fleet.migrate("beacon-0", 9)
+        with pytest.raises(ConfigurationError):
+            fleet.migrate("never-seen", 0)
+        before = fleet.migrations
+        fleet.migrate("beacon-0", fleet.shard_of("beacon-0"))  # no-op
+        assert fleet.migrations == before
+
+    def test_drain_empties_shard_and_rebalance_returns_home(self):
+        fleet = make_fleet(n_shards=3)
+        feed_fleet(fleet, 1.0, BEACONS)
+        victim = next(s for s in range(3)
+                      if fleet.workers[s].n_sessions > 0)
+        moves = fleet.drain(victim)
+        assert moves and fleet.workers[victim].n_sessions == 0
+        assert fleet.total_sessions == len(BEACONS)
+        feed_fleet(fleet, 2.0, BEACONS)  # drained shard stays empty
+        assert fleet.workers[victim].n_sessions == 0
+        fleet.rebalance()
+        assert not fleet.router.pins
+        for bid in BEACONS:
+            assert fleet.shard_of(bid) == fleet.router.hash_shard(bid)
+
+    def test_drain_the_only_shard_refused(self):
+        fleet = make_fleet(n_shards=1)
+        with pytest.raises(ConfigurationError):
+            fleet.drain(0)
+
+
+class TestFleetCheckpoint:
+    def test_roundtrip_resumes_bit_identical(self):
+        full = make_fleet(n_shards=2)
+        part = make_fleet(n_shards=2)
+        for k in range(1, 4):
+            feed_fleet(full, float(k), BEACONS)
+            feed_fleet(part, float(k), BEACONS)
+        part.migrate(BEACONS[0], (part.shard_of(BEACONS[0]) + 1) % 2)
+        full.migrate(BEACONS[0], (full.shard_of(BEACONS[0]) + 1) % 2)
+        cp = json.loads(json.dumps(part.checkpoint()))
+        resumed = TrackingFleet.restore(cp, pipeline_factory=_OkPipeline)
+        assert resumed.restores == 1
+        assert resumed.router.pins == full.router.pins
+        for k in range(4, 8):
+            a = feed_fleet(full, float(k), BEACONS)
+            b = feed_fleet(resumed, float(k), BEACONS)
+            assert sorted(a) == sorted(b)
+            for bid in a:
+                assert snapshot_key(a[bid]) == snapshot_key(b[bid])
+
+    def test_cross_field_inconsistencies_rejected(self):
+        fleet = make_fleet(n_shards=2)
+        feed_fleet(fleet, 1.0, BEACONS)
+        good = fleet.checkpoint()
+
+        cp = json.loads(json.dumps(good))
+        cp["config"]["n_shards"] = 3  # router/workers still say 2
+        with pytest.raises(DataQualityError):
+            TrackingFleet.restore(cp, pipeline_factory=_OkPipeline)
+
+        cp = json.loads(json.dumps(good))
+        cp["workers"][0]["shard_id"] = 1  # claims a shard it is not at
+        with pytest.raises(DataQualityError):
+            TrackingFleet.restore(cp, pipeline_factory=_OkPipeline)
+
+        cp = json.loads(json.dumps(good))
+        cp["router"]["salt"] = "different"  # sessions no longer route home
+        with pytest.raises(DataQualityError):
+            TrackingFleet.restore(cp, pipeline_factory=_OkPipeline)
+
+        with pytest.raises(DataQualityError):
+            TrackingFleet.restore({"format": -1},
+                                  pipeline_factory=_OkPipeline)
+
+        # The untouched checkpoint still restores.
+        resumed = TrackingFleet.restore(
+            json.loads(json.dumps(good)), pipeline_factory=_OkPipeline)
+        assert resumed.total_sessions == fleet.total_sessions
+
+
+# -- load generator (small but real simulation) -------------------------------
+
+
+class TestLoadGenerator:
+    def test_stream_is_deterministic_and_shaped(self):
+        from repro.sim.load import LoadConfig, generate_load
+
+        cfg = LoadConfig(duration_s=10.0, n_beacons=5, template_beacons=2,
+                         rate_hz=4.0, seed=9)
+        a = generate_load(cfg)
+        b = generate_load(cfg)
+        assert a.n_beacons == 5 and a.duration_s == 10.0
+        assert len(a.ticks) == 10
+        assert a.offered_samples > 0
+        assert a.offered_samples == b.offered_samples
+        for (ta, sa, ia), (tb, sb, ib) in zip(a.ticks, b.ticks):
+            assert ta == tb and len(sa) == len(sb) and len(ia) == len(ib)
+            assert [s.rssi for s in sa] == [s.rssi for s in sb]
+        ids = {s.beacon_id for _, scans, _ in a.ticks for s in scans}
+        assert ids == {f"b{i:05d}" for i in range(5)}
+
+    def test_arrival_models_differ(self):
+        from repro.sim.load import LoadConfig, generate_load
+
+        base = dict(duration_s=10.0, n_beacons=3, template_beacons=2, seed=4)
+        counts = {
+            arrival: generate_load(
+                LoadConfig(arrival=arrival, **base)).offered_samples
+            for arrival in ("poisson", "periodic", "bursty")
+        }
+        assert counts["bursty"] < counts["periodic"]
+        assert len(set(counts.values())) > 1
+
+    def test_config_validation(self):
+        from repro.sim.load import LoadConfig
+
+        with pytest.raises(ConfigurationError):
+            LoadConfig(n_beacons=0)
+        with pytest.raises(ConfigurationError):
+            LoadConfig(arrival="fractal")
+        with pytest.raises(ConfigurationError):
+            LoadConfig(template_beacons=0)
+        with pytest.raises(ConfigurationError):
+            LoadConfig(burst_duty=0.0)
+
+
+# -- end-to-end load tests (real pipeline; excluded from tier-1) --------------
+
+
+def _loadtest_config(**kwargs):
+    from repro.service import SessionConfig
+    from repro.service.health import HealthConfig
+    from repro.sim.load import LoadConfig
+
+    service = ServiceConfig(
+        session=SessionConfig(
+            window_s=20.0,
+            health=HealthConfig(stale_after_s=6.0, lost_after_s=60.0),
+        ),
+        imu_window_s=25.0,
+    )
+    return LoadTestConfig(
+        fleet=FleetConfig(n_shards=2, service=service),
+        load=LoadConfig(duration_s=25.0, n_beacons=8, template_beacons=2,
+                        seed=3),
+        **kwargs,
+    )
+
+
+@pytest.mark.fleet
+class TestLoadTestEndToEnd:
+    def test_small_fleet_serves_fixes_without_untyped_errors(self):
+        result = run_load_test(_loadtest_config())
+        assert result.fixes_total > 0
+        assert result.untyped_errors == 0
+        assert result.errors == ()
+        assert result.stats["sessions"] == 8
+
+    def test_migration_under_real_load_is_bit_identical(self):
+        from repro.sim.load import generate_load
+
+        cfg = _loadtest_config()
+        stream = generate_load(cfg.load)
+        base = run_load_test(cfg, stream=stream)
+        moved = run_load_test(_loadtest_config(migrate_at_tick=12),
+                              stream=stream)
+        assert moved.migrations
+        assert sorted(base.snapshots) == sorted(moved.snapshots)
+        for bid, seq in base.snapshots.items():
+            keys_a = [snapshot_key(s) for s in seq]
+            keys_b = [snapshot_key(s) for s in moved.snapshots[bid]]
+            assert keys_a == keys_b

@@ -305,6 +305,36 @@ class TestCircuitBreaker:
         with pytest.raises(DataQualityError):
             CircuitBreaker.restore({"format": 1, "state": "exploded"})
 
+    def test_open_without_opened_t_rejected(self):
+        # Regression: state "open" with opened_t null used to restore fine
+        # and crash the next allow(t) with `t - None`.
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0, 2.0):
+            br.record_failure(t)
+        cp = br.checkpoint()
+        cp["opened_t"] = None
+        with pytest.raises(DataQualityError):
+            CircuitBreaker.restore(cp, br.config)
+
+    def test_nonfinite_and_negative_fields_rejected(self):
+        br = CircuitBreaker(self.cfg(), key="b")
+        for t in (0.0, 1.0, 2.0):
+            br.record_failure(t)
+        good = br.checkpoint()
+        for corrupt in (
+            {"opened_t": float("nan")},
+            {"cooldown_s": float("inf")},
+            {"cooldown_s": 0.0},
+            {"cooldown_s": -1.0},
+            {"consecutive_failures": -1},
+            {"trips": -3},
+        ):
+            cp = dict(good, **corrupt)
+            with pytest.raises(DataQualityError):
+                CircuitBreaker.restore(cp, br.config)
+        # The uncorrupted checkpoint still restores.
+        assert CircuitBreaker.restore(good, br.config).state == br.state
+
 
 class TestExponentialBackoff:
     def test_delays_grow_and_cap(self):
@@ -348,6 +378,51 @@ class TestExponentialBackoff:
         assert restored.next_ready_t == bo.next_ready_t
         # Future schedules stay identical (same hash key).
         assert restored.on_failure(9.0) == bo.on_failure(9.0)
+
+    def test_no_overflow_past_two_thousand_attempts(self):
+        # Regression: factor ** (attempt - 1) raised OverflowError past
+        # attempt ~1025 before the min(..., max_s) cap could apply.
+        bo = ExponentialBackoff(BackoffConfig(), key="stuck")
+        last = 0.0
+        for k in range(2500):
+            last = bo.on_failure(float(k))
+            assert math.isfinite(last) and last > 0.0
+        cfg = bo.config
+        assert last <= cfg.max_s * (1.0 + cfg.jitter_frac)
+        assert bo.attempt <= 10_000
+        # delay_for stays finite at any attempt the clamp admits.
+        assert math.isfinite(bo.delay_for(10_000))
+        assert math.isfinite(bo.delay_for(10 ** 9))
+
+    def test_saturation_keeps_sub_cap_delays_bit_identical(self):
+        # The log-space short-circuit must not alter any delay the old
+        # expression could compute without overflowing.
+        cfg = BackoffConfig(base_s=0.5, factor=1.7, max_s=600.0,
+                            jitter_frac=0.3)
+        bo = ExponentialBackoff(cfg, key="beacon-42")
+        for k in range(1, 60):
+            raw = min(cfg.base_s * cfg.factor ** (k - 1), cfg.max_s)
+            jitter = bo.delay_for(k) / raw
+            assert 1.0 - cfg.jitter_frac <= jitter <= 1.0 + cfg.jitter_frac
+
+    def test_restore_rejects_bad_attempt_and_nonfinite_ready(self):
+        bo = ExponentialBackoff(BackoffConfig(), key="b")
+        bo.on_failure(5.0)
+        good = bo.checkpoint()
+        for corrupt in (
+            {"attempt": -1},
+            {"attempt": "many"},
+            {"next_ready_t": float("nan")},
+            {"next_ready_t": float("inf")},
+            {"next_ready_t": "soon"},
+        ):
+            with pytest.raises(DataQualityError):
+                ExponentialBackoff.restore(dict(good, **corrupt), bo.config)
+        # Absurd attempt counts restore clamped, not crashed.
+        restored = ExponentialBackoff.restore(
+            dict(good, attempt=10 ** 9), bo.config)
+        assert restored.attempt == 10_000
+        assert math.isfinite(restored.on_failure(0.0))
 
     def test_config_validation(self):
         with pytest.raises(ConfigurationError):
@@ -620,7 +695,11 @@ class TestTrackingService:
         svc = service_with_stub(max_sessions=1)
         feed_service(svc, 1.0, beacon_ids=("a", "b", "c"))
         assert len(svc.sessions) == 1
-        assert svc.sessions_shed == 6  # 3 scans each for b and c
+        assert svc.sessions_shed == 2  # beacons b and c refused
+        assert svc.shed_samples == 6  # 3 scans each for b and c
+        feed_service(svc, 2.0, beacon_ids=("a", "b", "c"))
+        assert svc.sessions_shed == 2  # still the same two beacons
+        assert svc.shed_samples == 12
         assert "a" in svc.sessions
 
     def test_nonfinite_imu_rejected(self):
