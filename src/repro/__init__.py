@@ -29,6 +29,7 @@ from repro.core import (
     Navigator,
 )
 from repro.fleet import FleetConfig, ShardRouter, TrackingFleet
+from repro.gateway import GatewayConfig, IngestionGateway
 from repro.service import (
     ServiceConfig,
     SessionConfig,
@@ -67,5 +68,6 @@ __all__ = [
     "Trajectory", "l_shape", "straight_walk", "SCENARIOS", "Scenario",
     "scenario", "ServiceConfig", "SessionConfig", "SessionState",
     "TrackingService", "TrackingSession",
-    "FleetConfig", "ShardRouter", "TrackingFleet", "__version__",
+    "FleetConfig", "ShardRouter", "TrackingFleet",
+    "GatewayConfig", "IngestionGateway", "__version__",
 ]

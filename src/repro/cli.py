@@ -12,6 +12,9 @@ Usage examples::
     python -m repro degrade --scenario 1 --seeds 8 --loss 0 0.1 0.3
     python -m repro soak --duration 300 --loss 0.3 --outages 2 --outage-s 60
     python -m repro fleet --shards 4 --beacons 200 --migrate-at 30
+    python -m repro gateway --duration 20 --drop 0.1 --corrupt 0.05 \\
+        --record run.trace
+    python -m repro gateway --replay run.trace
 
 Every command is a thin wrapper over the public API, prints a small report
 and returns 0 on success, so the CLI doubles as living documentation of the
@@ -149,6 +152,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--outages", type=int, default=0,
                    help="number of full scanner outages")
     p.add_argument("--outage-s", type=float, default=10.0)
+
+    p = sub.add_parser(
+        "gateway",
+        help="soak the async ingestion gateway under transport faults, "
+             "or replay a recorded trace",
+    )
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="stream length (seconds)")
+    p.add_argument("--tick", type=float, default=1.0,
+                   help="gateway tick period (seconds)")
+    p.add_argument("--beacons", type=int, default=8)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--rate", type=float, default=4.0,
+                   help="per-beacon advertising rate (Hz)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scenario", type=int, default=6, choices=range(1, 10))
+    p.add_argument("--drop", type=float, default=0.0,
+                   help="frame loss rate")
+    p.add_argument("--dup", type=float, default=0.0,
+                   help="frame duplication rate")
+    p.add_argument("--reorder", type=float, default=0.0,
+                   help="frame reordering rate")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="mid-flight byte-flip rate")
+    p.add_argument("--truncate", type=float, default=0.0,
+                   help="mid-frame connection-death rate")
+    p.add_argument("--disconnect", type=float, default=0.0,
+                   help="clean-disconnect rate")
+    p.add_argument("--stall", type=float, default=0.0,
+                   help="slow-loris stall rate")
+    p.add_argument("--stall-s", type=float, default=0.05,
+                   help="seconds each stalled frame pauses mid-frame")
+    p.add_argument("--client-timeout", type=float, default=1.0,
+                   help="gateway read timeout per connection (seconds)")
+    p.add_argument("--scan-queue", type=int, default=1024,
+                   help="per-beacon bounded queue capacity")
+    p.add_argument("--record", type=str, default=None, metavar="PATH",
+                   help="record the committed tick stream to a trace file")
+    p.add_argument("--no-replay-check", action="store_true",
+                   help="skip the record->replay determinism check")
+    p.add_argument("--replay", type=str, default=None, metavar="PATH",
+                   help="replay-only: verify an existing trace instead of "
+                        "running a soak")
 
     p = sub.add_parser(
         "obs",
@@ -472,6 +519,88 @@ def _cmd_fleet(args) -> int:
     return 0 if result.untyped_errors == 0 else 1
 
 
+def _cmd_gateway(args) -> int:
+    from repro.fleet import FleetConfig
+    from repro.gateway import (GatewayConfig, GatewaySoakConfig,
+                               replay, run_gateway_soak)
+    from repro.sim.faults import TransportFaultModel
+    from repro.sim.load import LoadConfig
+
+    if args.replay is not None:
+        result = replay(args.replay)
+        print(f"replay    : {args.replay}")
+        print(f"ticks     : {result.ticks} "
+              f"({result.samples} scans, {result.imu_samples} imu)")
+        print(f"sessions  : {result.final_sessions} live after replay")
+        if result.identical:
+            print("verdict   : bit-identical snapshot stream")
+            return 0
+        first = result.mismatches[0]
+        print(f"verdict   : DIVERGED at tick {first[0]} (t={first[1]}), "
+              f"{len(result.mismatches)} mismatching tick(s)")
+        return 1
+
+    result = run_gateway_soak(GatewaySoakConfig(
+        load=LoadConfig(
+            duration_s=args.duration,
+            tick_s=args.tick,
+            seed=args.seed,
+            scenario_index=args.scenario,
+            n_beacons=args.beacons,
+            template_beacons=min(4, args.beacons),
+            rate_hz=args.rate,
+        ),
+        transport=TransportFaultModel(
+            drop_rate=args.drop,
+            duplicate_rate=args.dup,
+            reorder_rate=args.reorder,
+            corrupt_rate=args.corrupt,
+            truncate_rate=args.truncate,
+            disconnect_rate=args.disconnect,
+            stall_rate=args.stall,
+            stall_s=args.stall_s,
+        ),
+        gateway=GatewayConfig(client_timeout_s=args.client_timeout,
+                              scan_queue=args.scan_queue),
+        fleet=FleetConfig(n_shards=args.shards),
+        n_clients=args.clients,
+        seed=args.seed,
+        record_path=args.record,
+        replay_check=not args.no_replay_check,
+    ))
+    print(f"gateway   : {args.clients} client(s) -> {args.shards} shard(s), "
+          f"{result.ticks} ticks over {args.duration:.0f} s")
+    print(f"offered   : {result.offered_samples} scan samples, "
+          f"delivered {result.delivered_samples} (scan+imu), "
+          f"shed {result.queue_shed}, "
+          f"{result.fleet_sessions} session(s)")
+    edge = ", ".join(f"{k}={v}"
+                     for k, v in sorted(result.gateway_counters.items()) if v)
+    print(f"edge      : {edge or 'clean run'}")
+    recovery = {"retries": 0, "reconnects": 0, "timeouts": 0, "gave_up": 0}
+    for stats in result.client_stats.values():
+        for key in recovery:
+            recovery[key] += stats[key]
+    print(f"clients   : " + ", ".join(f"{k}={v}"
+                                      for k, v in recovery.items()))
+    print(f"errors    : {len(result.errors)} "
+          f"({result.untyped_errors} untyped)")
+    for line in result.errors[:5]:
+        print(f"  ! {line}")
+    if result.parity_failures:
+        print(f"parity    : FAILED for {result.parity_failures}")
+    if result.trace_path:
+        print(f"trace     : {result.trace_path}")
+    if result.replay_result is not None:
+        verdict = ("bit-identical snapshot stream"
+                   if result.replay_result.identical
+                   else f"DIVERGED "
+                        f"({len(result.replay_result.mismatches)} ticks)")
+        print(f"replay    : {verdict}")
+    print(f"verdict   : {'PASS' if result.passed else 'FAIL'}")
+    return 0 if result.passed else 1
+
+
 def _cmd_obs(args) -> int:
     from repro.obs.report import main as obs_report_main
 
@@ -490,6 +619,7 @@ _COMMANDS = {
     "degrade": _cmd_degrade,
     "soak": _cmd_soak,
     "fleet": _cmd_fleet,
+    "gateway": _cmd_gateway,
     "obs": _cmd_obs,
 }
 

@@ -1,0 +1,299 @@
+"""A protocol-complete simulated client with scripted transport faults.
+
+:class:`SimulatedClient` is the gateway's sparring partner: it speaks the
+frame protocol correctly — hello handshake, at-least-once delivery with
+per-``seq`` acks, reconnect-and-resend after a dropped connection — while
+a per-frame :class:`~repro.sim.faults.FrameFate` script makes it misbehave
+in every transport-level way the hostile-input matrix names:
+
+* **drop** — pretend to send, then wait for the ack that never comes;
+  the ack timeout expires and the retry path delivers for real.
+* **duplicate** — send the frame twice; the gateway's seq dedup must ack
+  the second copy idempotently (``taken=0``).
+* **corrupt** — flip the first payload byte (a guaranteed UTF-8 break, so
+  the refusal is deterministic); the gateway hangs up with a typed
+  ``bad-frame`` error and the client reconnects and resends.
+* **truncate** — send half the wire bytes and slam the connection; the
+  gateway counts a truncated frame, the client reconnects and resends.
+* **disconnect** — close cleanly after the ack, reconnecting lazily on
+  the next send (the gateway's seq memory must survive the reconnect).
+* **stall** — dribble the frame with a mid-frame pause (slow-loris); a
+  stall longer than the gateway's read timeout triggers its typed
+  timeout hangup, and again the retry path recovers.
+* **reorder** — handled upstream by :func:`apply_reorder` swapping
+  adjacent frames in the schedule, since a sequential-ack client cannot
+  reorder within a single in-flight window.
+
+Retry pacing uses the deterministic jittered
+:class:`~repro.service.ExponentialBackoff` (scaled down so soaks stay
+fast); every recovery action lands in :class:`ClientStats` so the soak
+can assert the fault matrix actually exercised each path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, DataQualityError
+from repro.gateway.frames import FrameDecoder, encode_frame
+from repro.gateway.transport import ConnectionClosed, Endpoint
+from repro.service.breaker import BackoffConfig, ExponentialBackoff
+from repro.sim.faults import FrameFate
+
+__all__ = ["ClientStats", "SimulatedClient", "apply_reorder"]
+
+#: A clean fate: deliver the frame with no misbehaviour.
+_CLEAN = FrameFate()
+
+
+@dataclass
+class ClientStats:
+    """What one client did and endured over its lifetime."""
+
+    frames_sent: int = 0
+    acks: int = 0
+    dup_acks: int = 0
+    taken: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    timeouts: int = 0
+    errors_received: int = 0
+    refused: int = 0
+    gave_up: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {k: getattr(self, k) for k in (
+            "frames_sent", "acks", "dup_acks", "taken", "retries",
+            "reconnects", "timeouts", "errors_received", "refused",
+            "gave_up",
+        )}
+
+
+def apply_reorder(
+    schedule: List[Tuple[Dict[str, Any], FrameFate]],
+) -> List[Tuple[Dict[str, Any], FrameFate]]:
+    """Swap each reorder-fated frame with its successor (in place).
+
+    The swap happens at the send schedule, before any wire activity —
+    the client then delivers seqs out of order and the gateway's
+    ``frame_reordered`` repair path must absorb it.
+    """
+    i = 0
+    while i < len(schedule) - 1:
+        if schedule[i][1].reorder:
+            schedule[i], schedule[i + 1] = schedule[i + 1], schedule[i]
+            i += 2
+        else:
+            i += 1
+    return schedule
+
+
+class SimulatedClient:
+    """One at-least-once client connection driver against a gateway."""
+
+    def __init__(
+        self,
+        client_id: str,
+        gateway: Any,
+        backoff: Optional[BackoffConfig] = None,
+        ack_timeout_s: float = 0.25,
+        max_attempts: int = 4,
+        sleep_scale: float = 0.001,
+    ):
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if not ack_timeout_s > 0:
+            raise ConfigurationError("ack_timeout_s must be > 0")
+        self.client_id = client_id
+        self.gateway = gateway
+        self.backoff = ExponentialBackoff(
+            backoff or BackoffConfig(base_s=0.05, factor=2.0, max_s=1.0),
+            key=client_id)
+        self.ack_timeout_s = float(ack_timeout_s)
+        self.max_attempts = int(max_attempts)
+        #: Wall-sleep multiplier on backoff delays (soaks shrink it).
+        self.sleep_scale = float(sleep_scale)
+        self.stats = ClientStats()
+        self._ep: Optional[Endpoint] = None
+        self._connected_once = False
+        self._decoder = FrameDecoder()
+        self._pending: List[Dict[str, Any]] = []
+
+    # -- connection lifecycle ------------------------------------------------
+
+    async def _ensure_connected(self) -> None:
+        if (self._ep is not None and not self._ep.closed
+                and not self._ep.at_eof()):
+            return
+        if self._connected_once:
+            self.stats.reconnects += 1
+        self._connected_once = True
+        self._ep = self.gateway.connect(name=self.client_id)
+        self._decoder = FrameDecoder()
+        self._pending = []
+        await self._ep.send(encode_frame({
+            "type": "hello", "client": self.client_id, "proto": 1,
+        }))
+        reply = await asyncio.wait_for(self._read_reply(),
+                                       timeout=self.ack_timeout_s)
+        if reply is None or reply.get("type") != "welcome":
+            # "busy" refusal or a vanished gateway: surface as a typed
+            # condition for the retry loop.
+            raise ConnectionClosed(
+                f"client {self.client_id}: handshake answered with "
+                f"{(reply or {}).get('type')!r}")
+
+    def _drop_connection(self) -> None:
+        if self._ep is not None:
+            self._ep.close()
+            self._ep = None
+
+    async def close(self) -> None:
+        """Say bye and close cleanly (no reply expected)."""
+        if self._ep is None or self._ep.closed or self._ep.at_eof():
+            self._ep = None
+            return
+        try:
+            await self._ep.send(encode_frame({"type": "bye"}))
+        except ConnectionClosed:
+            pass
+        self._drop_connection()
+
+    # -- the at-least-once send loop -----------------------------------------
+
+    async def send_frame(
+        self, frame: Dict[str, Any], fate: FrameFate = _CLEAN
+    ) -> bool:
+        """Deliver one frame until acked (or attempts are exhausted).
+
+        Returns True once the gateway acked the frame's seq. The scripted
+        ``fate`` misbehaviours fire on the *first* attempt only — retries
+        deliver cleanly, which is exactly how a real lossy link recovers.
+        A non-retryable refusal stops immediately: resending a frame the
+        gateway rejected by policy cannot help.
+        """
+        seq = frame["seq"]
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+                delay = self.backoff.delay_for(attempt - 1)
+                await asyncio.sleep(delay * self.sleep_scale)
+            acting = fate if attempt == 1 else _CLEAN
+            try:
+                await self._ensure_connected()
+                await self._transmit(frame, acting)
+                if acting.truncate:
+                    # Mid-frame slam: no ack can come; reconnect+retry.
+                    self._drop_connection()
+                    continue
+                status = await self._await_ack(seq)
+            except (asyncio.TimeoutError, ConnectionClosed,
+                    DataQualityError):
+                # Handshake timed out, peer hung up, or the reply stream
+                # was unreadable: reconnect on the next attempt.
+                self._drop_connection()
+                continue
+            if status == "ack":
+                if acting.duplicate:
+                    # The idempotency probe: resend and expect a dup-ack.
+                    try:
+                        await self._transmit(frame, _CLEAN)
+                        await self._await_ack(seq)
+                    except (asyncio.TimeoutError, ConnectionClosed):
+                        self._drop_connection()
+                if acting.disconnect:
+                    await self.close()
+                return True
+            if status == "refused":
+                return False
+            self._drop_connection()
+        self.stats.gave_up += 1
+        return False
+
+    async def _transmit(
+        self, frame: Dict[str, Any], fate: FrameFate
+    ) -> None:
+        """Put (a possibly sabotaged) frame on the wire."""
+        assert self._ep is not None
+        if fate.drop:
+            return
+        wire = encode_frame(frame)
+        if fate.corrupt:
+            sabotaged = bytearray(wire)
+            # First payload byte: 0x7b ('{') ^ 0xff = 0x84, an invalid
+            # UTF-8 start byte — the refusal is deterministic.
+            sabotaged[4] ^= 0xFF
+            wire = bytes(sabotaged)
+        if fate.truncate:
+            await self._ep.send(wire[:max(4, len(wire) // 2)])
+            self.stats.frames_sent += 1
+            return
+        if fate.stall_s > 0:
+            half = len(wire) // 2
+            await self._ep.send(wire[:half])
+            await asyncio.sleep(fate.stall_s)
+            await self._ep.send(wire[half:])
+        else:
+            await self._ep.send(wire)
+        self.stats.frames_sent += 1
+
+    async def _await_ack(self, seq: int) -> str:
+        """Read replies until ``seq`` resolves.
+
+        Returns ``"ack"``, ``"refused"`` (non-retryable error),
+        ``"error"`` (retryable error — the gateway is about to hang up),
+        ``"timeout"`` or ``"eof"``.
+        """
+        while True:
+            try:
+                reply = await asyncio.wait_for(
+                    self._read_reply(), timeout=self.ack_timeout_s)
+            except asyncio.TimeoutError:
+                self.stats.timeouts += 1
+                return "timeout"
+            if reply is None:
+                return "eof"
+            rtype = reply.get("type")
+            if rtype == "error":
+                self.stats.errors_received += 1
+                if not reply.get("retryable", False):
+                    self.stats.refused += 1
+                    return "refused"
+                return "error"
+            if rtype == "ack":
+                if reply.get("seq") != seq:
+                    # A straggler ack (e.g. from an earlier duplicate):
+                    # keep reading for ours.
+                    continue
+                self.stats.acks += 1
+                if reply.get("dup"):
+                    self.stats.dup_acks += 1
+                self.stats.taken += int(reply.get("taken", 0))
+                return "ack"
+            # welcome or unknown reply type: keep reading.
+
+    async def _read_reply(self) -> Optional[Dict[str, Any]]:
+        """The next gateway frame (buffered or from the wire); None at EOF."""
+        if self._pending:
+            return self._pending.pop(0)
+        assert self._ep is not None
+        while True:
+            chunk = await self._ep.recv()
+            if chunk == b"":
+                self._drop_connection()
+                return None
+            frames = self._decoder.feed(chunk)
+            if frames:
+                self._pending.extend(frames[1:])
+                return frames[0]
+
+    async def run_schedule(
+        self,
+        schedule: Sequence[Tuple[Dict[str, Any], FrameFate]],
+    ) -> ClientStats:
+        """Deliver a whole scripted schedule (reorder fates pre-applied)."""
+        for frame, fate in apply_reorder(list(schedule)):
+            await self.send_frame(frame, fate)
+        return self.stats

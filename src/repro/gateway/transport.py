@@ -1,0 +1,155 @@
+"""In-memory asyncio byte-stream transport for the ingestion gateway.
+
+The gateway's contract is written against a *byte stream with flow
+control*, not against sockets: each connection is a duplex pair of
+:class:`Endpoint` objects moving raw byte chunks through per-direction
+queues gated by a bounded in-flight window. A full window makes ``send``
+await — that is the transport-level half of backpressure (a slow gateway
+slows its clients down), with the application-level half (bounded
+per-beacon queues that shed) layered above it by the gateway.
+
+Going in-memory rather than TCP keeps the whole edge deterministic-ish and
+testable on a hermetic CI host while preserving everything the protocol
+layer cares about: arbitrary chunk fragmentation, half-open closes, EOF
+mid-frame, stalls. The :class:`Endpoint` API is four methods
+(``send``/``recv``/``close``/``at_eof``); an adapter over a real
+``asyncio.StreamReader``/``StreamWriter`` pair is mechanical when a
+deployment needs real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ConnectionClosed",
+    "Endpoint",
+    "connected_pair",
+    "recv_with_timeout",
+]
+
+#: Sentinel queued to signal a peer-side close (EOF after draining).
+_EOF = object()
+
+
+class ConnectionClosed(ConfigurationError):
+    """Raised when sending on a connection whose peer has gone away.
+
+    Subclasses :class:`~repro.errors.ConfigurationError` so it stays inside
+    the typed-error taxonomy: a client writing into a closed pipe is an
+    expected edge event, and every gateway/client loop handles it as one.
+    """
+
+
+class Endpoint:
+    """One end of an in-memory duplex byte pipe.
+
+    Flow control is a counted in-flight window per direction: ``send``
+    acquires a slot (awaiting when the window is exhausted), the peer's
+    ``recv`` releases it. The close sentinel bypasses the window so a
+    synchronous :meth:`close` always lands.
+    """
+
+    def __init__(
+        self,
+        inbox: "asyncio.Queue",
+        peer_inbox: "asyncio.Queue",
+        send_window: "asyncio.Semaphore",
+        recv_window: "asyncio.Semaphore",
+        name: str = "",
+    ):
+        self.name = name
+        self._inbox = inbox
+        self._peer_inbox = peer_inbox
+        self._send_window = send_window
+        self._recv_window = recv_window
+        self._closed = False          # this side called close()
+        self._peer_closed = False     # EOF sentinel consumed from the inbox
+        #: Bytes this endpoint has pushed to its peer (stats/debug).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    async def send(self, data: bytes) -> None:
+        """Queue one chunk to the peer; awaits while the window is full.
+
+        Raises :class:`ConnectionClosed` once either side has closed —
+        bytes written into a dead pipe would otherwise vanish silently,
+        and silent loss is exactly what this edge exists to forbid.
+        """
+        if self._closed or self._peer_closed:
+            raise ConnectionClosed(
+                f"endpoint {self.name or id(self)} is closed"
+            )
+        await self._send_window.acquire()
+        if self._closed or self._peer_closed:
+            self._send_window.release()
+            raise ConnectionClosed(
+                f"endpoint {self.name or id(self)} closed while sending"
+            )
+        self._peer_inbox.put_nowait(bytes(data))
+        self.bytes_sent += len(data)
+
+    async def recv(self) -> bytes:
+        """The next chunk from the peer; ``b""`` exactly once at EOF."""
+        if self._peer_closed:
+            return b""
+        item = await self._inbox.get()
+        if item is _EOF:
+            self._peer_closed = True
+            return b""
+        self._recv_window.release()
+        self.bytes_received += len(item)
+        return item
+
+    def close(self) -> None:
+        """Half-close: the peer drains what was already sent, then sees EOF."""
+        if self._closed:
+            return
+        self._closed = True
+        self._peer_inbox.put_nowait(_EOF)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def at_eof(self) -> bool:
+        """Has the peer closed and the inbox been drained to the sentinel?"""
+        return self._peer_closed
+
+
+def connected_pair(
+    buffer_chunks: int = 64, name: str = ""
+) -> Tuple[Endpoint, Endpoint]:
+    """A fresh duplex connection: ``(client_end, server_end)``.
+
+    ``buffer_chunks`` bounds each direction's in-flight chunk count — the
+    transport window that turns a slow reader into a blocked writer.
+    """
+    if buffer_chunks < 1:
+        raise ConfigurationError("buffer_chunks must be >= 1")
+    a_inbox: "asyncio.Queue" = asyncio.Queue()   # chunks flowing B -> A
+    b_inbox: "asyncio.Queue" = asyncio.Queue()   # chunks flowing A -> B
+    window_ab = asyncio.Semaphore(buffer_chunks)
+    window_ba = asyncio.Semaphore(buffer_chunks)
+    client = Endpoint(a_inbox, b_inbox, window_ab, window_ba,
+                      name=f"{name}:client")
+    server = Endpoint(b_inbox, a_inbox, window_ba, window_ab,
+                      name=f"{name}:server")
+    return client, server
+
+
+async def recv_with_timeout(
+    endpoint: Endpoint, timeout_s: Optional[float]
+) -> bytes:
+    """``endpoint.recv()`` bounded by ``timeout_s`` (None = wait forever).
+
+    Raises :class:`asyncio.TimeoutError` on expiry — the caller owns the
+    slow-loris policy (count, event, refuse), this helper only enforces
+    the clock.
+    """
+    if timeout_s is None:
+        return await endpoint.recv()
+    return await asyncio.wait_for(endpoint.recv(), timeout=timeout_s)

@@ -13,9 +13,11 @@ log).
 from __future__ import annotations
 
 import logging
+from bisect import bisect_right
 from collections import deque
 from typing import (
-    Any, Callable, Deque, Generic, Iterable, Iterator, List, TypeVar,
+    Any, Callable, Deque, Generic, Iterable, Iterator, List, Optional,
+    TypeVar,
 )
 
 from repro import obs, perf
@@ -53,33 +55,72 @@ class BoundedBuffer(Generic[T]):
     def full(self) -> bool:
         return len(self._items) >= self.maxlen
 
+    def _shed_oldest(self) -> None:
+        """Evict the oldest item with the full count/perf/event/log ritual.
+
+        Every shed path (``append``, ``extend``, ``insert_by``) funnels
+        through here, so per-item shed accounting is identical no matter
+        how the item arrived — the parity the gateway's queue reuse and
+        ``tests/test_service.py`` depend on.
+        """
+        self._items.popleft()
+        self.shed += 1
+        perf.count(f"service.shed.{self.name}")
+        obs.emit(
+            "buffer.shed",
+            severity="warning" if self.shed == 1 else "debug",
+            component="service",
+            buffer=self.name,
+            maxlen=self.maxlen,
+            shed_total=self.shed,
+            policy=self.policy,
+        )
+        level = logging.WARNING if self.shed == 1 else logging.DEBUG
+        logger.log(
+            level,
+            "buffer %r full (maxlen=%d): shed oldest sample "
+            "(%d shed so far, policy=%s)",
+            self.name, self.maxlen, self.shed, self.policy,
+        )
+
     def append(self, item: T) -> None:
         """Add one item, shedding the oldest when at capacity."""
         if len(self._items) >= self.maxlen:
-            self._items.popleft()
-            self.shed += 1
-            perf.count(f"service.shed.{self.name}")
-            obs.emit(
-                "buffer.shed",
-                severity="warning" if self.shed == 1 else "debug",
-                component="service",
-                buffer=self.name,
-                maxlen=self.maxlen,
-                shed_total=self.shed,
-                policy=self.policy,
-            )
-            level = logging.WARNING if self.shed == 1 else logging.DEBUG
-            logger.log(
-                level,
-                "buffer %r full (maxlen=%d): shed oldest sample "
-                "(%d shed so far, policy=%s)",
-                self.name, self.maxlen, self.shed, self.policy,
-            )
+            self._shed_oldest()
         self._items.append(item)
 
-    def extend(self, items: Iterable[T]) -> None:
+    def extend(self, items: Iterable[T]) -> int:
+        """Append many items; returns how many were added.
+
+        Exactly equivalent to calling :meth:`append` per item: each
+        overflow sheds (and counts, and events) individually, so a batch
+        arrival is indistinguishable from the same items arriving one by
+        one in every ledger.
+        """
+        n = 0
         for item in items:
             self.append(item)
+            n += 1
+        return n
+
+    def last(self) -> Optional[T]:
+        """The newest buffered item, or ``None`` when empty."""
+        return self._items[-1] if self._items else None
+
+    def insert_by(self, item: T, key: "Callable[[T], Any]") -> None:
+        """Insert keeping non-decreasing ``key`` order (late stragglers).
+
+        Equal keys insert *after* existing ones, preserving arrival order
+        among ties. Overflow semantics match :meth:`append` exactly: at
+        capacity the oldest item is shed first — which may be the inserted
+        item itself if it would sort before everything buffered (a
+        straggler older than the whole ring is dropped, counted, the same
+        way capacity pressure drops it).
+        """
+        keys = [key(existing) for existing in self._items]
+        self._items.insert(bisect_right(keys, key(item)), item)
+        if len(self._items) > self.maxlen:
+            self._shed_oldest()
 
     def items(self) -> List[T]:
         """A snapshot list, oldest first."""

@@ -219,6 +219,16 @@ class TrackingSession:
         later decision depends on. RSSI values are *not* screened here — the
         repair-mode pipeline sanitizes them per solve, and dropping them
         early would hide the degradation from the sanitization report.
+
+        Stream order is a *sort-or-refuse* policy: a sample older than the
+        buffer head (the reordered-scan-callback pathology
+        :func:`repro.sim.faults.inject_clock_faults` deliberately emits) is
+        **repaired** by sorted insertion so the buffer — and therefore every
+        solve window sliced from it — stays time-ordered; an exact duplicate
+        of a buffered sample (same timestamp, RSSI and channel — the
+        signature of a retried delivery) is **refused**. Both paths are
+        counted (``ingest_reordered`` / ``ingest_duplicate``) and evented,
+        never silent.
         """
         taken = 0
         for s in samples:
@@ -233,9 +243,66 @@ class TrackingSession:
                     reason="nonfinite-timestamp",
                 )
                 continue
-            self.rss.append(s)
+            last = self.rss.last()
+            if last is None or s.timestamp >= last.timestamp:
+                # In-order fast path. A tie with the buffer head is only a
+                # duplicate when the payload matches too; otherwise it is a
+                # distinct same-instant reading and appends in arrival
+                # order.
+                if (last is not None and s.timestamp == last.timestamp
+                        and self._is_duplicate(s)):
+                    self._count("ingest_duplicate")
+                    perf.count("service.ingest_duplicate")
+                    obs.emit(
+                        "ingest.duplicate",
+                        severity="debug",
+                        component="service",
+                        beacon=self.beacon_id,
+                        t=s.timestamp,
+                    )
+                    continue
+                self.rss.append(s)
+                taken += 1
+                continue
+            if self._is_duplicate(s):
+                self._count("ingest_duplicate")
+                perf.count("service.ingest_duplicate")
+                obs.emit(
+                    "ingest.duplicate",
+                    severity="debug",
+                    component="service",
+                    beacon=self.beacon_id,
+                    t=s.timestamp,
+                )
+                continue
+            self.rss.insert_by(s, key=lambda x: x.timestamp)
             taken += 1
+            self._count("ingest_reordered")
+            perf.count("service.ingest_reordered")
+            obs.emit(
+                "ingest.reordered",
+                severity="debug",
+                component="service",
+                beacon=self.beacon_id,
+                t=s.timestamp,
+                behind_s=last.timestamp - s.timestamp,
+            )
         return taken
+
+    def _is_duplicate(self, s: RssiSample) -> bool:
+        """Is an identical sample (t, rssi, channel) already buffered?
+
+        Only called off the fast path (``s.timestamp <=`` buffer head), so
+        the scan it does is proportional to how disordered the stream
+        actually is, not to its rate.
+        """
+        return any(
+            b.timestamp == s.timestamp
+            and b.rssi == s.rssi
+            and b.channel == s.channel
+            for b in self.rss
+            if b.timestamp == s.timestamp
+        )
 
     # -- the supervised solve loop ------------------------------------------
 

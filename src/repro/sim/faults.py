@@ -34,6 +34,8 @@ from repro.types import RssiSample, RssiTrace
 
 __all__ = [
     "FaultModel",
+    "FrameFate",
+    "TransportFaultModel",
     "inject_bursty_loss",
     "inject_outages",
     "inject_clock_faults",
@@ -225,6 +227,93 @@ class FaultModel:
         if self.skew_ppm != 0.0 or self.jitter_s > 0:
             out = inject_clock_faults(out, rng, self.skew_ppm, self.jitter_s)
         return out
+
+
+@dataclass(frozen=True)
+class FrameFate:
+    """What the transport does to one outbound frame.
+
+    Produced by :meth:`TransportFaultModel.plan`; consumed by the
+    simulated gateway client, which acts each flag out on the wire. Flags
+    compose — a frame can be both duplicated and followed by a disconnect.
+    """
+
+    #: Lost in transit: never delivered, so the sender's ack wait times
+    #: out and its retry machinery fires.
+    drop: bool = False
+    #: Delivered twice back to back (a retransmission racing its ack).
+    duplicate: bool = False
+    #: Swapped with the *next* frame on the wire (late scheduling).
+    reorder: bool = False
+    #: One payload byte flipped mid-flight; framing cannot recover, so the
+    #: receiver must refuse typed and drop the connection.
+    corrupt: bool = False
+    #: Cut short mid-frame and the connection closed (mid-stream death).
+    truncate: bool = False
+    #: Clean disconnect after this frame (client roams out of coverage).
+    disconnect: bool = False
+    #: Seconds the sender stalls *mid-frame* before finishing it — the
+    #: slow-loris pathology a read-timeout exists to bound. 0 = no stall.
+    stall_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class TransportFaultModel:
+    """Seedable per-frame fault fates for a gateway client's wire stream.
+
+    The trace-level :class:`FaultModel` degrades *what the radio heard*;
+    this model degrades *how it travels*: loss, duplication, reordering,
+    mid-frame corruption and truncation, disconnects, and slow-loris
+    stalls. :meth:`plan` rolls each frame's fate from an explicit ``rng``
+    in a fixed draw order, so a client's whole hostile schedule is a pure
+    function of its seed — reproducible, like every other injector here.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    disconnect_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.05
+
+    _RATES = ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate",
+              "truncate_rate", "disconnect_rate", "stall_rate")
+
+    def __post_init__(self) -> None:
+        for name in self._RATES:
+            v = getattr(self, name)
+            if not (math.isfinite(v) and 0.0 <= v < 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1)")
+        if not (math.isfinite(self.stall_s) and self.stall_s >= 0.0):
+            raise ConfigurationError("stall_s must be finite and >= 0")
+
+    def is_null(self) -> bool:
+        return all(getattr(self, name) == 0.0 for name in self._RATES)
+
+    def plan(self, rng: np.random.Generator, n_frames: int) -> "List[FrameFate]":
+        """Roll a fate for each of ``n_frames`` outbound frames.
+
+        Every frame consumes the same number of draws regardless of
+        outcome, so fates stay aligned across models that differ only in
+        rates (curves over a fault dimension share everything else).
+        """
+        if n_frames < 0:
+            raise ConfigurationError("n_frames must be >= 0")
+        fates: List[FrameFate] = []
+        for _ in range(n_frames):
+            rolls = rng.random(len(self._RATES))
+            fates.append(FrameFate(
+                drop=bool(rolls[0] < self.drop_rate),
+                duplicate=bool(rolls[1] < self.duplicate_rate),
+                reorder=bool(rolls[2] < self.reorder_rate),
+                corrupt=bool(rolls[3] < self.corrupt_rate),
+                truncate=bool(rolls[4] < self.truncate_rate),
+                disconnect=bool(rolls[5] < self.disconnect_rate),
+                stall_s=(self.stall_s if rolls[6] < self.stall_rate else 0.0),
+            ))
+        return fates
 
 
 def degradation_sweep(

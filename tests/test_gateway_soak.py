@@ -1,0 +1,129 @@
+"""Gateway soak acceptance: the hostile matrix, end to end.
+
+Marked ``gateway`` (excluded from tier-1): these drive real asyncio
+concurrency for seconds at a time. The acceptance criteria mirror the
+issue verbatim — the full transport fault matrix completes with zero
+untyped exceptions, every refusal/repair shows up as a paired obs event +
+perf counter, and a recorded trace replays through gateway→fleet with a
+bit-identical snapshot stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetConfig
+from repro.gateway import (
+    GatewayConfig,
+    GatewaySoakConfig,
+    GatewaySoakResult,
+    run_gateway_soak,
+)
+from repro.service import ServiceConfig
+from repro.sim.faults import TransportFaultModel
+from repro.sim.load import LoadConfig
+
+pytestmark = pytest.mark.gateway
+
+#: Every fault dimension on at once — the full hostile matrix.
+FULL_MATRIX = TransportFaultModel(
+    drop_rate=0.10, duplicate_rate=0.10, reorder_rate=0.10,
+    corrupt_rate=0.05, truncate_rate=0.05, disconnect_rate=0.05,
+    stall_rate=0.05, stall_s=0.02,
+)
+
+
+def soak_config(tmp_path=None, **kw) -> GatewaySoakConfig:
+    base = dict(
+        load=LoadConfig(duration_s=12.0, n_beacons=6, template_beacons=3,
+                        rate_hz=4.0, seed=7),
+        transport=FULL_MATRIX,
+        gateway=GatewayConfig(client_timeout_s=1.0),
+        fleet=FleetConfig(n_shards=2,
+                          service=ServiceConfig(max_sessions=16)),
+        n_clients=3,
+        seed=1,
+        ack_timeout_s=0.1,
+    )
+    if tmp_path is not None:
+        base["record_path"] = str(tmp_path / "soak.trace")
+    base.update(kw)
+    return GatewaySoakConfig(**base)
+
+
+def test_full_matrix_soak_passes_with_replay(tmp_path):
+    result = run_gateway_soak(soak_config(tmp_path))
+    assert result.passed, result.summary()
+    assert result.untyped_errors == 0 and result.errors == []
+    assert result.parity_failures == []
+    # The matrix must actually have exercised its paths.
+    counters = result.gateway_counters
+    assert counters.get("frame_duplicate", 0) > 0
+    assert (counters.get("frame_malformed", 0)
+            + counters.get("frame_truncated", 0)) > 0
+    assert result.fleet_sessions > 0
+    assert result.delivered_samples > 0
+    # Record→replay bit-identity, checked tick by tick.
+    assert result.replay_result is not None
+    assert result.replay_result.identical
+    assert result.replay_result.ticks == result.ticks
+    # No client abandoned a frame: at-least-once held under the matrix.
+    for stats in result.client_stats.values():
+        assert stats["gave_up"] == 0
+
+
+def test_same_seed_same_committed_stream(tmp_path):
+    """Two live runs under the same seeded matrix commit identical ticks.
+
+    Concurrency may interleave differently wall-clock-wise, but per-beacon
+    ownership is single-client and ordered, so the *committed* per-tick
+    batches — and therefore the snapshot digests — must agree exactly.
+    """
+    a = run_gateway_soak(soak_config())
+    b = run_gateway_soak(soak_config())
+    assert a.passed and b.passed
+    assert a.tick_digests == b.tick_digests
+
+
+def test_slow_loris_matrix_expels_and_recovers(tmp_path):
+    config = soak_config(
+        tmp_path,
+        transport=TransportFaultModel(stall_rate=0.3, stall_s=0.3),
+        gateway=GatewayConfig(client_timeout_s=0.1),
+        load=LoadConfig(duration_s=8.0, n_beacons=4, template_beacons=2,
+                        rate_hz=3.0, seed=7),
+    )
+    result = run_gateway_soak(config)
+    assert result.passed, result.summary()
+    assert result.gateway_counters.get("client_timeout", 0) > 0
+    assert result.replay_result is not None
+    assert result.replay_result.identical
+
+
+def test_backpressure_sheds_visibly_not_silently(tmp_path):
+    config = soak_config(
+        tmp_path,
+        transport=TransportFaultModel(),  # clean wire: isolate shedding
+        gateway=GatewayConfig(client_timeout_s=1.0, scan_queue=8),
+        load=LoadConfig(duration_s=8.0, n_beacons=4, template_beacons=2,
+                        rate_hz=20.0, seed=7),
+    )
+    result = run_gateway_soak(config)
+    assert result.untyped_errors == 0
+    assert result.queue_shed > 0  # capacity pressure really bit
+    # Shed work is visible: queue counters survived into the report and
+    # the replay of what *was* committed is still bit-identical.
+    assert result.replay_result is not None
+    assert result.replay_result.identical
+
+
+def test_result_summary_is_json_safe(tmp_path):
+    import json
+
+    result = run_gateway_soak(soak_config(
+        tmp_path,
+        load=LoadConfig(duration_s=4.0, n_beacons=3, template_beacons=2,
+                        rate_hz=3.0, seed=7),
+    ))
+    assert isinstance(result, GatewaySoakResult)
+    json.dumps(result.summary())
