@@ -15,6 +15,8 @@ Usage examples::
     python -m repro gateway --duration 20 --drop 0.1 --corrupt 0.05 \\
         --record run.trace
     python -m repro gateway --replay run.trace
+    python -m repro gateway --replay crashed.trace --allow-unsealed
+    python -m repro chaos --seed 1 --kills 2 --replay-check
 
 Every command is a thin wrapper over the public API, prints a small report
 and returns 0 on success, so the CLI doubles as living documentation of the
@@ -196,6 +198,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", type=str, default=None, metavar="PATH",
                    help="replay-only: verify an existing trace instead of "
                         "running a soak")
+    p.add_argument("--allow-unsealed", action="store_true",
+                   help="with --replay: accept a crash-truncated trace "
+                        "(missing end seal, at most one torn final line) "
+                        "and replay its verified prefix")
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded crash chaos: kill, corrupt, recover, verify digests",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ticks", type=int, default=36,
+                   help="workload length in ticks")
+    p.add_argument("--tick", type=float, default=1.0,
+                   help="tick period (seconds)")
+    p.add_argument("--beacons", type=int, default=8)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--kills", type=int, default=2,
+                   help="SIGKILL-simulated process deaths")
+    p.add_argument("--shard-crashes", type=int, default=2,
+                   help="in-process shard-worker crashes to inject")
+    p.add_argument("--checkpoint-every", type=int, default=4,
+                   help="ticks between durable fleet snapshots")
+    p.add_argument("--torn-prob", type=float, default=0.5,
+                   help="probability a kill tears the trace's final write")
+    p.add_argument("--bitflip-prob", type=float, default=0.5,
+                   help="probability a kill bit-flips the newest snapshot")
+    p.add_argument("--durability", choices=["flush", "fsync"],
+                   default="fsync",
+                   help="store/trace write policy (flush is faster)")
+    p.add_argument("--workdir", type=str, default=None, metavar="DIR",
+                   help="keep traces and the checkpoint store here "
+                        "(default: a fresh temp directory)")
+    p.add_argument("--replay-check", action="store_true",
+                   help="also replay the sealed baseline trace and check "
+                        "every crashed segment trace is readable")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable result instead")
 
     p = sub.add_parser(
         "obs",
@@ -527,8 +566,9 @@ def _cmd_gateway(args) -> int:
     from repro.sim.load import LoadConfig
 
     if args.replay is not None:
-        result = replay(args.replay)
-        print(f"replay    : {args.replay}")
+        result = replay(args.replay, allow_unsealed=args.allow_unsealed)
+        print(f"replay    : {args.replay}"
+              + (" (unsealed prefix)" if args.allow_unsealed else ""))
         print(f"ticks     : {result.ticks} "
               f"({result.samples} scans, {result.imu_samples} imu)")
         print(f"sessions  : {result.final_sessions} live after replay")
@@ -601,6 +641,35 @@ def _cmd_gateway(args) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_chaos(args) -> int:
+    import json as _json
+
+    from repro.durability.chaos import ChaosConfig, format_report, run_chaos
+
+    result = run_chaos(
+        ChaosConfig(
+            seed=args.seed,
+            ticks=args.ticks,
+            tick_s=args.tick,
+            n_beacons=args.beacons,
+            n_shards=args.shards,
+            kills=args.kills,
+            shard_crashes=args.shard_crashes,
+            checkpoint_every=args.checkpoint_every,
+            torn_write_prob=args.torn_prob,
+            bitflip_prob=args.bitflip_prob,
+            durability=args.durability,
+            replay_check=args.replay_check,
+        ),
+        workdir=args.workdir,
+    )
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(result))
+    return 0 if result.passed else 1
+
+
 def _cmd_obs(args) -> int:
     from repro.obs.report import main as obs_report_main
 
@@ -620,6 +689,7 @@ _COMMANDS = {
     "soak": _cmd_soak,
     "fleet": _cmd_fleet,
     "gateway": _cmd_gateway,
+    "chaos": _cmd_chaos,
     "obs": _cmd_obs,
 }
 

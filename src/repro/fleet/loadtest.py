@@ -169,10 +169,23 @@ def run_load_test(
             fleet.ingest_scans(scan_batch)
             fleet.ingest_imu(imu_batch)
             snaps = fleet.tick(t)
+        except ReproError as exc:
+            # Typed refusal: the fleet said no in its own vocabulary.
+            # Still a driver-visible failure (the contract is that data
+            # errors are absorbed *inside* the fleet), but a different
+            # defect class than an untyped escape — the chaos gate keys
+            # off exactly this split.
+            errors.append(f"{type(exc).__name__}: {exc}")
+            perf.count("fleet.loadtest_typed_error")
+            obs.emit("fleet.loadtest_typed_error", severity="warning",
+                     component="fleet", tick=k, error=type(exc).__name__)
+            continue
         except Exception as exc:  # noqa: BLE001 — load tests record, not raise
             errors.append(f"{type(exc).__name__}: {exc}")
-            if not isinstance(exc, ReproError):
-                untyped += 1
+            untyped += 1
+            perf.count("fleet.loadtest_untyped_error")
+            obs.emit("fleet.loadtest_untyped_error", severity="error",
+                     component="fleet", tick=k, error=type(exc).__name__)
             continue
         tick_wall.append(time.perf_counter() - start)
         tick_fixes.append(perf.counter_value(fixes_counter) - fixes_before)

@@ -34,8 +34,10 @@ from repro.gateway.soak import (
 from repro.gateway.trace import (
     TRACE_FORMAT,
     ReplayResult,
+    TraceRecovery,
     TraceWriter,
     read_trace,
+    recover_trace,
     replay,
     snapshot_digest,
     trace_meta,
@@ -62,8 +64,10 @@ __all__ = [
     "recv_with_timeout",
     "GatewayConfig",
     "IngestionGateway",
+    "TraceRecovery",
     "TraceWriter",
     "read_trace",
+    "recover_trace",
     "replay",
     "ReplayResult",
     "snapshot_digest",

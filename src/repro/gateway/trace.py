@@ -17,6 +17,16 @@ record, and :func:`read_trace` refuses with a typed
 *data* — nothing in this module raises an untyped exception for anything a
 file can contain.
 
+Crashes are the *normal* way a trace ends: a process that dies mid-run
+leaves no ``end`` seal and possibly one torn final line, and that trace —
+the incident you most want to replay — must stay readable.
+``read_trace(path, allow_unsealed=True)`` (or :func:`recover_trace`, which
+also returns the structured :class:`TraceRecovery` report) accepts a
+crash-truncated trace: it drops **at most one** torn final line and
+returns the hash-verified prefix. Corruption anywhere *before* the tail —
+a mid-file bit flip, a reordered line, a truncate-and-append — is still
+refused in both modes; only the one write a crash can tear is forgiven.
+
 :func:`replay` rebuilds a gateway+fleet from the trace header's recorded
 configuration, re-drives every tick, and compares each tick's snapshot
 digest against the recorded one — a self-contained determinism check that
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
@@ -46,13 +57,19 @@ from repro.types import ImuSample, RssiSample
 
 __all__ = [
     "TRACE_FORMAT",
+    "TraceRecovery",
     "TraceWriter",
     "read_trace",
+    "recover_trace",
     "replay",
     "ReplayResult",
     "snapshot_digest",
     "trace_meta",
 ]
+
+#: Durability policies a :class:`TraceWriter` (and
+#: :class:`~repro.obs.sinks.JsonLinesSink`) can write under.
+DURABILITY_POLICIES = ("flush", "fsync")
 
 #: Schema version written in the trace header.
 TRACE_FORMAT = 1
@@ -149,13 +166,26 @@ class TraceWriter:
 
     ``writer = TraceWriter(path, meta=trace_meta(gw)); gw.tap = writer``
     — every subsequent ``gw.tick`` appends one record. Each record is
-    flushed as written, so a crash leaves a prefix that still verifies up
-    to its last complete line (the missing ``end`` record marks it
-    truncated). Use as a context manager or call :meth:`close` to seal.
+    flushed as written (``durability="fsync"`` additionally fsyncs every
+    record, so a committed tick survives an OS or power crash, not just a
+    process crash), so a crash leaves a prefix that still verifies up to
+    its last complete line — :func:`recover_trace` reads exactly that
+    prefix back. Use as a context manager or call :meth:`close` to seal;
+    the context exit seals **only on a clean exit**. When the body raised,
+    the trace is left unsealed instead (:meth:`abort`), because an ``end``
+    record under an in-flight exception would claim a completed run that
+    never completed — the honest artifact of a crashed run is a
+    crash-shaped trace.
     """
 
-    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None):
+    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None,
+                 durability: str = "flush"):
+        if durability not in DURABILITY_POLICIES:
+            raise ConfigurationError(
+                f"durability must be one of {DURABILITY_POLICIES}, "
+                f"got {durability!r}")
         self.path = str(path)
+        self.durability = durability
         self.ticks = 0
         self._h = GENESIS
         self._closed = False
@@ -177,6 +207,8 @@ class TraceWriter:
                                   separators=(",", ":"), allow_nan=True)
                        + "\n")
         self._fh.flush()
+        if self.durability == "fsync":
+            os.fsync(self._fh.fileno())
 
     def record_tick(
         self,
@@ -207,55 +239,120 @@ class TraceWriter:
         self._closed = True
         self._fh.close()
 
+    def abort(self) -> None:
+        """Close the file *without* sealing (the crash-path close).
+
+        The trace stays a valid unsealed prefix — readable via
+        ``read_trace(path, allow_unsealed=True)`` — and honestly records
+        that the run did not finish.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.close()
+
     def __enter__(self) -> "TraceWriter":
         return self
 
-    def __exit__(self, *exc_info: Any) -> None:
-        self.close()
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        # Seal only a clean exit: masking an in-flight exception with an
+        # `end` record would forge a completed run.
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
-def read_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-    """Read and verify a trace; returns ``(meta, tick_records)``.
+@dataclass(frozen=True)
+class TraceRecovery:
+    """The structured report of reading a (possibly crash-ended) trace.
 
-    Raises :class:`~repro.errors.DataQualityError` on any integrity
-    failure: unparseable lines, a broken hash chain, a bad header, a
-    missing ``end`` record (truncation), or an ``end``/tick-count
-    mismatch. :class:`~repro.errors.ConfigurationError` covers an
-    unreadable path — that is the caller's input, not the file's content.
+    ``sealed`` is True when the ``end`` record was present and consistent;
+    ``torn_line``/``torn_reason`` name the single final line dropped as a
+    crash-torn write (``None`` when every line verified). ``ticks_read``
+    counts the verified tick records returned alongside this report.
+    """
+
+    sealed: bool
+    ticks_read: int
+    lines_total: int
+    torn_line: Optional[int] = None
+    torn_reason: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        """Did the trace read with no recovery at all (sealed, no tear)?"""
+        return self.sealed and self.torn_line is None
+
+
+def _verify_line(
+    path: str, lineno: int, line: str, prev_h: str
+) -> Dict[str, Any]:
+    """One line → verified record, or a typed refusal.
+
+    Exactly the failures a crash-torn final write can produce (partial
+    JSON, missing or mismatching hash) raise here — the tolerant reader
+    forgives them on the last line only. Everything else is checked by
+    the caller, where chain position is known.
     """
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+        record = json.loads(line)
+    except ValueError as exc:
+        raise DataQualityError(
+            f"trace {path!r} line {lineno} is not JSON: {exc}")
+    if not isinstance(record, dict):
+        raise DataQualityError(
+            f"trace {path!r} line {lineno}: record must be an object")
+    h = record.get("h")
+    if not isinstance(h, str):
+        raise DataQualityError(
+            f"trace {path!r} line {lineno}: missing hash")
+    if h != _chain(prev_h, record):
+        raise DataQualityError(
+            f"trace {path!r} line {lineno}: hash chain broken "
+            f"(corruption, truncation-and-append, or reordering)")
+    return record
+
+
+def _read_verified(
+    path: str, allow_unsealed: bool
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], TraceRecovery]:
+    try:
+        # errors="replace": a crash can tear a write mid-byte, leaving a
+        # non-UTF-8 tail. Replacement characters can never survive the
+        # per-line hash check, so nothing invalid is ever accepted — the
+        # mangled line just fails verification like any other torn line.
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            raw = fh.read().splitlines()
     except OSError as exc:
         raise ConfigurationError(f"cannot read trace {path!r}: {exc}")
+    lines = [(lineno, line) for lineno, line in enumerate(raw, start=1)
+             if line.strip()]
     prev_h = GENESIS
     header: Optional[Dict[str, Any]] = None
     ticks: List[Dict[str, Any]] = []
     ended = False
-    for lineno, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
+    torn_line: Optional[int] = None
+    torn_reason: Optional[str] = None
+    for index, (lineno, line) in enumerate(lines):
         if ended:
             raise DataQualityError(
                 f"trace {path!r}: record after end (line {lineno})")
         try:
-            record = json.loads(line)
-        except ValueError as exc:
-            raise DataQualityError(
-                f"trace {path!r} line {lineno} is not JSON: {exc}")
-        if not isinstance(record, dict):
-            raise DataQualityError(
-                f"trace {path!r} line {lineno}: record must be an object")
-        h = record.get("h")
-        if not isinstance(h, str):
-            raise DataQualityError(
-                f"trace {path!r} line {lineno}: missing hash")
-        expected = _chain(prev_h, record)
-        if h != expected:
-            raise DataQualityError(
-                f"trace {path!r} line {lineno}: hash chain broken "
-                f"(corruption, truncation-and-append, or reordering)")
-        prev_h = h
+            record = _verify_line(path, lineno, line, prev_h)
+        except DataQualityError as exc:
+            if allow_unsealed and index == len(lines) - 1:
+                # The one failure a crash legitimately produces: a torn
+                # final write. Drop it, keep the verified prefix.
+                torn_line, torn_reason = lineno, str(exc)
+                break
+            if index == len(lines) - 1:
+                raise DataQualityError(
+                    f"{exc} — if this trace ends in a crash-torn write, "
+                    f"read_trace(..., allow_unsealed=True) recovers the "
+                    f"verified prefix")
+            raise
+        prev_h = record["h"]
         kind = record.get("kind")
         if header is None:
             if kind != "header":
@@ -271,6 +368,8 @@ def read_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
         elif kind == "tick":
             t = record.get("t")
             if not isinstance(t, (int, float)) or not math.isfinite(t):
+                # Hash-valid but non-finite: not a torn write — tampering
+                # or a writer bug. Refused in both modes.
                 raise DataQualityError(
                     f"trace {path!r} line {lineno}: non-finite tick time")
             ticks.append(record)
@@ -286,12 +385,58 @@ def read_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
                 f"{kind!r}")
     if header is None:
         raise DataQualityError(f"trace {path!r} is empty")
-    if not ended:
+    if not ended and not allow_unsealed:
         raise DataQualityError(
-            f"trace {path!r} is truncated: no end record "
-            f"({len(ticks)} ticks read)")
+            f"trace {path!r} is unsealed: no end record ({len(ticks)} "
+            f"ticks read). An unsealed trace is the normal artifact of a "
+            f"crashed run — pass allow_unsealed=True to read its verified "
+            f"prefix")
     meta = header.get("meta")
-    return (meta if isinstance(meta, dict) else {}), ticks
+    recovery = TraceRecovery(
+        sealed=ended,
+        ticks_read=len(ticks),
+        lines_total=len(lines),
+        torn_line=torn_line,
+        torn_reason=torn_reason,
+    )
+    return (meta if isinstance(meta, dict) else {}), ticks, recovery
+
+
+def read_trace(
+    path: str, allow_unsealed: bool = False
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read and verify a trace; returns ``(meta, tick_records)``.
+
+    Raises :class:`~repro.errors.DataQualityError` on any integrity
+    failure: unparseable lines, a broken hash chain, a bad header, an
+    ``end``/tick-count mismatch, or — under the strict default — a
+    missing ``end`` seal. :class:`~repro.errors.ConfigurationError`
+    covers an unreadable path — that is the caller's input, not the
+    file's content.
+
+    ``allow_unsealed=True`` accepts the trace a crashed process leaves
+    behind: the ``end`` seal may be missing and **at most one** torn
+    final line is dropped; the returned records are the hash-verified
+    prefix. Corruption before the final line is refused in both modes.
+    Use :func:`recover_trace` to also get the structured
+    :class:`TraceRecovery` report of what recovery did.
+    """
+    meta, ticks, _ = _read_verified(path, allow_unsealed)
+    return meta, ticks
+
+
+def recover_trace(
+    path: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], TraceRecovery]:
+    """Read a possibly crash-ended trace; ``(meta, ticks, recovery)``.
+
+    The tolerant twin of :func:`read_trace`: accepts a missing ``end``
+    seal, drops at most one torn final line, and reports exactly what it
+    forgave in the returned :class:`TraceRecovery`. Anything recovery
+    cannot explain as a single torn tail write still raises
+    :class:`~repro.errors.DataQualityError`.
+    """
+    return _read_verified(path, allow_unsealed=True)
 
 
 @dataclass
@@ -329,6 +474,7 @@ def _tick_samples(
 def replay(
     path: str,
     pipeline_factory: PipelineFactory = default_pipeline_factory,
+    allow_unsealed: bool = False,
 ) -> ReplayResult:
     """Re-drive a recorded trace through a fresh gateway→fleet.
 
@@ -338,8 +484,10 @@ def replay(
     batches are enqueued and ticked exactly as the original drain
     committed them; the resulting snapshot digest is compared against the
     recorded one, so divergence is pinned to the first differing tick.
+    ``allow_unsealed=True`` replays a crashed run's verified prefix (see
+    :func:`recover_trace`).
     """
-    meta, tick_records = read_trace(path)
+    meta, tick_records = read_trace(path, allow_unsealed=allow_unsealed)
     gateway = _gateway_from_meta(meta, pipeline_factory)
     result = ReplayResult()
     for index, record in enumerate(tick_records):

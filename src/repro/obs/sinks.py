@@ -14,6 +14,7 @@ Three sinks cover the deployment shapes the ROADMAP cares about:
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import Counter, deque
 from pathlib import Path
@@ -22,6 +23,11 @@ from typing import Deque, Dict, List, Optional, Union
 from repro.obs.events import Event
 
 __all__ = ["RingBufferSink", "JsonLinesSink", "CountingSink"]
+
+#: Durability policies for :class:`JsonLinesSink` (mirrors
+#: :class:`repro.gateway.TraceWriter`): ``"flush"`` survives a process
+#: crash, ``"fsync"`` additionally survives an OS/power crash.
+DURABILITY_POLICIES = ("flush", "fsync")
 
 
 class RingBufferSink:
@@ -70,13 +76,22 @@ class JsonLinesSink:
     """Appends each event as one JSON line to a file.
 
     The file handle is opened lazily on the first event and flushed after
-    every write; :meth:`close` is idempotent. A sink whose file becomes
-    unwritable raises out of ``write`` — the :class:`~repro.obs.events.EventLog`
-    responds by detaching it, so the solve path keeps running.
+    every write; :meth:`close` is idempotent. ``durability="fsync"``
+    additionally fsyncs each record, so the log survives an OS or power
+    crash at the cost of one sync per event — the right policy when the
+    event log *is* the incident record. A sink whose file becomes
+    unwritable raises out of ``write`` — the
+    :class:`~repro.obs.events.EventLog` responds by detaching it, so the
+    solve path keeps running.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], durability: str = "flush"):
+        if durability not in DURABILITY_POLICIES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_POLICIES}, "
+                f"got {durability!r}")
         self.path = Path(path)
+        self.durability = durability
         self._lock = threading.Lock()
         self._fh = None
         self.written = 0
@@ -87,6 +102,8 @@ class JsonLinesSink:
                 self._fh = open(self.path, "a", encoding="utf-8")
             self._fh.write(event.to_json() + "\n")
             self._fh.flush()
+            if self.durability == "fsync":
+                os.fsync(self._fh.fileno())
             self.written += 1
 
     def close(self) -> None:
