@@ -27,6 +27,9 @@ from repro.core import (
     EnvAwareClassifier,
     LocBLE,
     Navigator,
+    ParticleEstimator,
+    available_backends,
+    make_solver,
 )
 from repro.fleet import FleetConfig, ShardRouter, TrackingFleet
 from repro.gateway import GatewayConfig, IngestionGateway
@@ -60,7 +63,8 @@ __version__ = "1.0.0"
 __all__ = [
     "DartleRanger", "ProximityEstimator", "ProximityZone",
     "AdaptiveNoiseFilter", "ClusteringCalibrator", "EllipticalEstimator",
-    "EnvAwareClassifier", "LocBLE", "Navigator", "BeaconSpec",
+    "EnvAwareClassifier", "LocBLE", "Navigator", "ParticleEstimator",
+    "available_backends", "make_solver", "BeaconSpec",
     "EnvDatasetBuilder", "FaultModel", "degradation_sweep",
     "EstimateDiagnostics", "SanitizationReport", "check_trace",
     "sanitize_trace", "MeasurementRecord", "Simulator", "EnvClass",

@@ -17,9 +17,13 @@ from repro.core.navigation import Instruction, Navigator
 from repro.core.particle import ParticleEstimator
 from repro.core.pipeline import EstimationContext, LocBLE, PreparedEstimate
 from repro.core.reporting import SessionReport, session_report
+from repro.core.solvers import (
+    EkfBackend, EllipticalBackend, ParticleBackend, SolverBackend,
+    available_backends, make_solver, restore_solver,
+)
 from repro.core.straightwalk import StraightWalkResolver
 from repro.core.three_d import Estimator3D, Fit3DResult, Vec3
-from repro.core.tracking import BeaconTracker, TrackState
+from repro.core.tracking import BeaconTracker, TrackState, joseph_update
 
 __all__ = [
     "DisambiguationResult", "LegMeasurement", "TwoLegDisambiguator",
@@ -32,4 +36,6 @@ __all__ = [
     "StraightWalkResolver",
     "SessionReport", "session_report", "ParticleEstimator",
     "Estimator3D", "Fit3DResult", "Vec3", "BeaconTracker", "TrackState",
+    "joseph_update", "SolverBackend", "EkfBackend", "EllipticalBackend",
+    "ParticleBackend", "available_backends", "make_solver", "restore_solver",
 ]

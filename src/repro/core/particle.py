@@ -10,20 +10,54 @@ each (displacement, RSS) reading as it arrives. It serves three roles:
   for streaming deployments;
 * a posterior whose spread is a direct uncertainty readout (no Jacobian
   approximation).
+
+Robustness contract (matching :mod:`repro.robustness` conventions): every
+reading is screened per sample before it can touch the cloud. In
+``sanitize="strict"`` mode a non-finite or implausible reading raises a
+typed :class:`~repro.errors.DataQualityError`; in ``"repair"`` mode it is
+skipped and counted. Either way the posterior built from the readings that
+*did* pass is never discarded — the historical failure mode this module is
+hardened against was one junk reading driving ``update`` into the
+degenerate-weight branch, which silently re-seeded the whole cloud **and**
+zeroed the update counter, so a later ``estimate()`` raised "no readings
+assimilated yet" after hundreds of successful updates. That branch now
+keeps the pre-update posterior, drops only the offending reading, and is
+loud: a ``solver.particle_degenerate`` event paired with a perf counter.
+
+The filter is JSON-checkpointable (:meth:`checkpoint`/:meth:`restore`,
+including the RNG bit-generator state), so a kill-and-resume continues
+bit-identically — the same contract every supervised layer honours.
 """
 
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EstimationError
+from repro import obs, perf
+from repro.errors import ConfigurationError, DataQualityError, EstimationError
+from repro.robustness.sanitize import RSSI_PLAUSIBLE_DBM
 from repro.types import LocationEstimate, Vec2
 
-__all__ = ["ParticleEstimator"]
+__all__ = ["ParticleEstimator", "PARTICLE_CHECKPOINT_FORMAT"]
+
+#: Checkpoint schema version written by :meth:`ParticleEstimator.checkpoint`.
+PARTICLE_CHECKPOINT_FORMAT = 1
+
+
+def _jsonify_rng_state(node):
+    """Recursively convert a bit-generator state dict to JSON-safe types."""
+    if isinstance(node, dict):
+        return {k: _jsonify_rng_state(v) for k, v in node.items()}
+    if isinstance(node, np.ndarray):
+        return node.tolist()
+    if isinstance(node, np.integer):
+        return int(node)
+    return node
 
 
 @dataclass
@@ -36,6 +70,12 @@ class ParticleEstimator:
     Each ``update(p, q, rss)`` reweights by the Gaussian RSS likelihood and
     resamples when the effective sample size collapses; a small parameter
     jitter at resampling keeps the cloud alive (regularised PF).
+
+    ``sanitize`` selects the per-sample screening policy: ``"strict"``
+    (default) raises a typed :class:`~repro.errors.DataQualityError` on a
+    non-finite displacement or a non-finite/implausible RSS reading;
+    ``"repair"`` skips the reading, counts it, and keeps going — the right
+    mode for dirty field streams.
     """
 
     rng: np.random.Generator
@@ -47,19 +87,44 @@ class ParticleEstimator:
     n_low: float = 1.6
     n_high: float = 3.2
     resample_threshold: float = 0.5
+    sanitize: str = "strict"
     _state: Optional[np.ndarray] = field(default=None, init=False)
     _weights: Optional[np.ndarray] = field(default=None, init=False)
     _n_updates: int = field(default=0, init=False)
+    _n_skipped: int = field(default=0, init=False)
+    _n_degenerate: int = field(default=0, init=False)
+    _n_resamples: int = field(default=0, init=False)
+    _n_resets: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.n_particles < 50:
             raise ConfigurationError("need >= 50 particles")
         if self.rss_sigma_db <= 0 or self.max_range_m <= 0:
             raise ConfigurationError("invalid noise/range parameters")
+        if self.sanitize not in ("strict", "repair"):
+            raise ConfigurationError(
+                f"sanitize must be 'strict' or 'repair', got {self.sanitize!r}"
+            )
         self.reset()
 
     def reset(self) -> None:
-        """Re-seed the cloud from the prior."""
+        """Re-seed the cloud from the prior, discarding the posterior.
+
+        A *deliberate* operation (new measurement session, environment
+        change): it zeroes the update counter, so ``estimate()`` refuses
+        until fresh readings arrive. ``update`` never calls it — an
+        assimilation problem must not wipe history (see module docstring).
+        Resets of a live posterior are evented and counted.
+        """
+        if self._state is not None:
+            self._n_resets += 1
+            perf.count("solver.particle_resets")
+            obs.emit(
+                "solver.particle_reset",
+                severity="warning",
+                component="solver",
+                n_updates_discarded=self._n_updates,
+            )
         n = self.n_particles
         radius = self.max_range_m * np.sqrt(self.rng.uniform(0.05, 1.0, n))
         angle = self.rng.uniform(-math.pi, math.pi, n)
@@ -75,30 +140,128 @@ class ParticleEstimator:
     def effective_sample_size(self) -> float:
         return float(1.0 / np.sum(self._weights**2))
 
-    def update(self, p: float, q: float, rss: float) -> None:
-        """Assimilate one reading (same (p, q) convention as the batch fit)."""
+    @property
+    def n_updates(self) -> int:
+        """Readings assimilated into the current posterior."""
+        return self._n_updates
+
+    @property
+    def n_skipped(self) -> int:
+        """Readings screened out (repair mode) since construction."""
+        return self._n_skipped
+
+    # -- screening -----------------------------------------------------------
+
+    def _screen(self, p: float, q: float, rss: float) -> bool:
+        """Per-sample input screening: True when the reading is usable.
+
+        Strict mode raises typed; repair mode counts, events and skips.
+        Displacements must be finite; RSS must additionally sit inside the
+        physically plausible band — a finite but absurd reading (say,
+        ``-1e154`` dBm) would overflow the squared innovation and poison
+        every particle's log-likelihood at once.
+        """
+        lo, hi = RSSI_PLAUSIBLE_DBM
+        if math.isfinite(p) and math.isfinite(q) and lo <= rss <= hi:
+            return True
+        if self.sanitize == "strict":
+            raise DataQualityError(
+                f"unusable particle reading (p={p!r}, q={q!r}, rss={rss!r}); "
+                "sanitize the trace first or construct with sanitize='repair'"
+            )
+        self._skip(reason="unusable-reading")
+        return False
+
+    def _skip(self, reason: str) -> None:
+        self._n_skipped += 1
+        perf.count("solver.particle_skipped")
+        obs.emit(
+            "solver.particle_skipped",
+            severity="debug",
+            component="solver",
+            reason=reason,
+        )
+
+    # -- assimilation --------------------------------------------------------
+
+    def update(self, p: float, q: float, rss: float) -> bool:
+        """Assimilate one reading (same (p, q) convention as the batch fit).
+
+        Returns True when the reading entered the posterior, False when it
+        was screened out or rejected by the degenerate-weight guard. The
+        posterior surviving before the call is never destroyed by a bad
+        reading on either path.
+        """
+        if not self._screen(float(p), float(q), float(rss)):
+            return False
         s = self._state
-        l = np.maximum(np.hypot(s[:, 0] + p, s[:, 1] + q), 0.1)
-        predicted = s[:, 2] - 10.0 * s[:, 3] * np.log10(l)
-        log_lik = -0.5 * ((rss - predicted) / self.rss_sigma_db) ** 2
-        log_w = np.log(self._weights + 1e-300) + log_lik
-        log_w -= log_w.max()
-        w = np.exp(log_w)
-        total = w.sum()
+        # The degenerate-weight guard below owns any NaN/overflow these
+        # vector ops can produce, so numpy's warnings are noise here.
+        with np.errstate(invalid="ignore", over="ignore"):
+            l = np.maximum(np.hypot(s[:, 0] + p, s[:, 1] + q), 0.1)
+            predicted = s[:, 2] - 10.0 * s[:, 3] * np.log10(l)
+            log_lik = -0.5 * ((rss - predicted) / self.rss_sigma_db) ** 2
+            log_w = np.log(self._weights + 1e-300) + log_lik
+            log_w -= log_w.max()
+            w = np.exp(log_w)
+            total = w.sum()
         if not math.isfinite(total) or total <= 0:
-            self.reset()
-            return
+            # Defensive guard: with screening in place this is nearly
+            # unreachable, but if the weights do collapse the pre-update
+            # posterior is kept and only this reading is dropped — the old
+            # behaviour (silent reset + zeroed update counter, making a
+            # later estimate() raise after hundreds of good updates) is the
+            # bug this module's robustness contract forbids.
+            self._n_degenerate += 1
+            perf.count("solver.particle_degenerate")
+            obs.emit(
+                "solver.particle_degenerate",
+                severity="warning",
+                component="solver",
+                rss=float(rss),
+                n_updates=self._n_updates,
+                weight_total=float(total),
+            )
+            return False
         self._weights = w / total
         self._n_updates += 1
         if self.effective_sample_size < self.resample_threshold * self.n_particles:
             self._resample()
+        return True
 
-    def update_batch(self, ps, qs, rss_values) -> None:
+    def update_batch(self, ps, qs, rss_values) -> int:
+        """Assimilate a batch of readings; returns how many were taken.
+
+        Non-numeric entries are part of the data-error contract like every
+        other public entry point: strict mode raises a typed
+        :class:`~repro.errors.DataQualityError` (never a bare ``TypeError``
+        from ``float()``), repair mode skips and counts them.
+        """
+        taken = 0
         for p, q, r in zip(ps, qs, rss_values):
-            self.update(float(p), float(q), float(r))
+            try:
+                p_f, q_f, r_f = float(p), float(q), float(r)
+            except (TypeError, ValueError) as exc:
+                if self.sanitize == "strict":
+                    raise DataQualityError(
+                        f"non-numeric particle reading "
+                        f"(p={p!r}, q={q!r}, rss={r!r})"
+                    ) from exc
+                self._skip(reason="non-numeric")
+                continue
+            taken += int(self.update(p_f, q_f, r_f))
+        return taken
 
     def _resample(self) -> None:
         n = self.n_particles
+        self._n_resamples += 1
+        perf.count("solver.particle_resamples")
+        obs.emit(
+            "solver.particle_resample",
+            severity="debug",
+            component="solver",
+            ess=self.effective_sample_size,
+        )
         # Systematic resampling.
         positions = (self.rng.random() + np.arange(n)) / n
         cumulative = np.cumsum(self._weights)
@@ -132,4 +295,143 @@ class ParticleEstimator:
             gamma=float(mean[2]),
             n=float(mean[3]),
             position_std=std,
+            diagnostics=self._diagnostics(std, confidence),
         )
+
+    def _diagnostics(self, std: float, confidence: float):
+        """Posterior-spread-derived diagnostics for the estimate.
+
+        Imported lazily so this module keeps its light dependency set (the
+        diagnostics module pulls in the sanitization layer).
+        """
+        from repro.obs.provenance import FixProvenance
+        from repro.robustness.diagnostics import EstimateDiagnostics
+
+        return EstimateDiagnostics(
+            n_samples_used=self._n_updates,
+            provenance=FixProvenance(
+                solver="particle",
+                n_candidates=self.n_particles,
+                cov_status="ok" if math.isfinite(std) else "error",
+                n_samples=self._n_updates,
+                sanitized_dropped=self._n_skipped,
+                sanitized_repaired=self._n_skipped > 0,
+                confidence=confidence,
+                position_std=std if math.isfinite(std) else None,
+            ),
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Serialize the complete filter — cloud, weights, counters, RNG —
+        as a JSON-safe dict.
+
+        Floats survive a ``json.dumps``/``loads`` round trip bit-exactly
+        and the RNG bit-generator state is captured verbatim, so
+        :meth:`restore` continues the filter bit-identically after a
+        process kill-and-resume.
+        """
+        return {
+            "format": PARTICLE_CHECKPOINT_FORMAT,
+            "config": {
+                "n_particles": self.n_particles,
+                "max_range_m": self.max_range_m,
+                "rss_sigma_db": self.rss_sigma_db,
+                "gamma_prior": self.gamma_prior,
+                "gamma_prior_sigma": self.gamma_prior_sigma,
+                "n_low": self.n_low,
+                "n_high": self.n_high,
+                "resample_threshold": self.resample_threshold,
+                "sanitize": self.sanitize,
+            },
+            "rng": _jsonify_rng_state(self.rng.bit_generator.state),
+            "state": self._state.tolist(),
+            "weights": self._weights.tolist(),
+            "n_updates": self._n_updates,
+            "n_skipped": self._n_skipped,
+            "n_degenerate": self._n_degenerate,
+            "n_resamples": self._n_resamples,
+            "n_resets": self._n_resets,
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "ParticleEstimator":
+        """Rebuild a filter from a :meth:`checkpoint` dict.
+
+        Malformed checkpoints fail with a typed
+        :class:`~repro.errors.DataQualityError` — data read off a disk or a
+        wire gets the data-error contract, never a bare ``KeyError``.
+        """
+        from repro.service.checkpoint import restore_guard
+
+        if not isinstance(cp, dict) or cp.get("format") != PARTICLE_CHECKPOINT_FORMAT:
+            found = cp.get("format") if isinstance(cp, dict) else cp
+            raise DataQualityError(
+                "unsupported particle checkpoint: expected format "
+                f"{PARTICLE_CHECKPOINT_FORMAT}, got {found!r}"
+            )
+        with restore_guard("particle estimator"):
+            cfg = cp["config"]
+            est = cls(
+                rng=np.random.default_rng(0),
+                n_particles=int(cfg["n_particles"]),
+                max_range_m=float(cfg["max_range_m"]),
+                rss_sigma_db=float(cfg["rss_sigma_db"]),
+                gamma_prior=float(cfg["gamma_prior"]),
+                gamma_prior_sigma=float(cfg["gamma_prior_sigma"]),
+                n_low=float(cfg["n_low"]),
+                n_high=float(cfg["n_high"]),
+                resample_threshold=float(cfg["resample_threshold"]),
+                sanitize=str(cfg["sanitize"]),
+            )
+            est.rng = cls._restore_rng(cp["rng"])
+            state = np.asarray(cp["state"], dtype=float)
+            weights = np.asarray(cp["weights"], dtype=float)
+            if state.shape != (est.n_particles, 4):
+                raise DataQualityError(
+                    f"particle checkpoint state has shape {state.shape}; "
+                    f"expected {(est.n_particles, 4)}"
+                )
+            if weights.shape != (est.n_particles,):
+                raise DataQualityError(
+                    "particle checkpoint weights do not match the cloud size"
+                )
+            if not (np.all(np.isfinite(state)) and np.all(np.isfinite(weights))):
+                raise DataQualityError(
+                    "particle checkpoint contains non-finite state"
+                )
+            total = float(weights.sum())
+            if not (math.isfinite(total) and total > 0
+                    and np.all(weights >= 0)):
+                raise DataQualityError(
+                    "particle checkpoint weights do not normalise"
+                )
+            est._state = state
+            est._weights = weights
+            for name in ("n_updates", "n_skipped", "n_degenerate",
+                         "n_resamples", "n_resets"):
+                value = cp[name]
+                if not isinstance(value, numbers.Integral) or int(value) < 0:
+                    raise DataQualityError(
+                        f"particle checkpoint counter {name} must be a "
+                        f"non-negative integer, got {value!r}"
+                    )
+                setattr(est, f"_{name}", int(value))
+        return est
+
+    @staticmethod
+    def _restore_rng(state: Dict[str, Any]) -> np.random.Generator:
+        """Reconstruct the generator from a checkpointed state dict."""
+        if not isinstance(state, dict):
+            raise DataQualityError("particle checkpoint rng state malformed")
+        name = state.get("bit_generator")
+        bg_cls = getattr(np.random, str(name), None)
+        if not (isinstance(bg_cls, type)
+                and issubclass(bg_cls, np.random.BitGenerator)):
+            raise DataQualityError(
+                f"unknown bit generator {name!r} in particle checkpoint"
+            )
+        bg = bg_cls()
+        bg.state = state
+        return np.random.Generator(bg)

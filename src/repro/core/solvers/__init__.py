@@ -1,0 +1,46 @@
+"""Pluggable solver backends for LocBLE (:mod:`repro.core.solvers`).
+
+Three registered estimation strategies behind one contract
+(:class:`~repro.core.solvers.base.SolverBackend`):
+
+``elliptical``
+    The paper's batch elliptical regression (Sec. 5) — the default, and
+    the only backend with warm-start and cross-session batching fast
+    paths.
+``particle``
+    Sequential Monte Carlo over ``(x, h, Γ, n)`` — online updates and a
+    direct posterior-spread uncertainty readout.
+``ekf``
+    A multi-hypothesis extended Kalman filter over the same state,
+    sharing :class:`~repro.core.tracking.BeaconTracker`'s Joseph-form
+    update machinery — the cheapest per-reading path.
+
+See ``docs/solvers.md`` for the backend contract, selection guidance, and
+the measured accuracy-vs-cost comparison.
+"""
+
+from repro.core.solvers.base import (
+    SOLVER_CHECKPOINT_FORMAT,
+    SolverBackend,
+    available_backends,
+    make_solver,
+    register_backend,
+    restore_solver,
+    screen_readings,
+)
+from repro.core.solvers.ekf import EkfBackend
+from repro.core.solvers.elliptical import EllipticalBackend
+from repro.core.solvers.particle import ParticleBackend
+
+__all__ = [
+    "SOLVER_CHECKPOINT_FORMAT",
+    "SolverBackend",
+    "available_backends",
+    "make_solver",
+    "register_backend",
+    "restore_solver",
+    "screen_readings",
+    "EkfBackend",
+    "EllipticalBackend",
+    "ParticleBackend",
+]

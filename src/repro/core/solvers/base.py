@@ -1,0 +1,224 @@
+"""The solver-backend contract and registry (:mod:`repro.core.solvers`).
+
+ROADMAP item 3: the paper's elliptical regression was hard-wired into
+:class:`~repro.core.pipeline.LocBLE` while the particle filter sat unused
+by the serving path. This module defines the seam that makes estimation
+strategies interchangeable: a :class:`SolverBackend` consumes matched
+``(p, q, rss)`` rows via :meth:`~SolverBackend.observe`, produces a
+standard :class:`~repro.core.estimator.FitResult` via
+:meth:`~SolverBackend.solve`, and is JSON-checkpointable like every other
+stateful layer of the system.
+
+Backends register by name; :func:`make_solver` builds one and
+:func:`restore_solver` rebuilds one from any backend's checkpoint (the
+checkpoint records which backend wrote it). The shared contract:
+
+* **screening** — every reading is screened per sample before it can touch
+  solver state. ``sanitize="strict"`` raises a typed
+  :class:`~repro.errors.DataQualityError`; ``"repair"`` skips, counts, and
+  events the reading (:func:`screen_readings`).
+* **typed errors** — no public entry point may leak a bare
+  ``TypeError``/``KeyError``; everything surfaces through
+  :mod:`repro.errors`.
+* **bit-identical resume** — ``restore(checkpoint())`` then continuing the
+  observation stream must reproduce the uninterrupted run exactly.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from repro import obs, perf
+from repro.core.estimator import FitResult
+from repro.errors import ConfigurationError, DataQualityError
+from repro.robustness.sanitize import RSSI_PLAUSIBLE_DBM
+
+try:  # pragma: no cover - Protocol is typing_extensions-only on py3.7
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+__all__ = [
+    "SolverBackend",
+    "available_backends",
+    "make_solver",
+    "register_backend",
+    "restore_solver",
+    "screen_readings",
+    "SOLVER_CHECKPOINT_FORMAT",
+]
+
+#: Checkpoint schema version shared by all solver-backend checkpoints.
+SOLVER_CHECKPOINT_FORMAT = 1
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """What :class:`~repro.core.pipeline.LocBLE` needs from an estimator.
+
+    ``observe`` assimilates matched displacement/RSS rows (returning how
+    many survived screening), ``solve`` produces the current best fit as a
+    :class:`~repro.core.estimator.FitResult` — the same structure the
+    elliptical path emits, so provenance, confidence scoring, and
+    diagnostics downstream are backend-agnostic. ``diagnostics`` exposes
+    the backend's structured counters (skips, resamples, degeneracies…)
+    and ``checkpoint`` serializes the complete state as a JSON-safe dict.
+    """
+
+    name: str
+
+    def observe(self, p, q, rss) -> int:
+        """Assimilate matched readings; returns the number accepted."""
+        ...
+
+    def solve(self) -> FitResult:
+        """The best estimate from everything observed so far."""
+        ...
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """Structured counters describing this backend's run."""
+        ...
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Serialize the complete backend state as a JSON-safe dict."""
+        ...
+
+
+_REGISTRY: Dict[str, Any] = {}
+
+
+def register_backend(name: str, cls: Any) -> None:
+    """Register a backend class under ``name``.
+
+    The class must provide ``create(**options)`` and ``restore(cp)``
+    classmethods; registration is idempotent for the same class.
+    """
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"solver backend {name!r} is already registered"
+        )
+    _REGISTRY[name] = cls
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_solver(name: str, **options: Any) -> "SolverBackend":
+    """Build a registered backend by name.
+
+    Common options every backend accepts: ``sanitize`` ("strict" |
+    "repair"), ``seed`` (deterministic RNG seed for stochastic backends),
+    ``gamma_prior`` and ``n_prior`` (environment-informed path-loss
+    priors; ``n_prior=None`` means uninformed).
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown solver backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return cls.create(**options)
+
+
+def restore_solver(cp: Dict[str, Any]) -> "SolverBackend":
+    """Rebuild whichever backend wrote the checkpoint ``cp``.
+
+    Dispatches on the checkpoint's own ``backend`` field, so callers that
+    persist an opaque solver state (sessions, the fleet) need not know
+    which backend they are carrying.
+    """
+    if not isinstance(cp, dict):
+        raise DataQualityError(
+            f"solver checkpoint must be a dict, got {type(cp).__name__}"
+        )
+    name = cp.get("backend")
+    if not isinstance(name, str):
+        raise DataQualityError(
+            f"solver checkpoint backend field must be a string, got {name!r}"
+        )
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise DataQualityError(
+            f"solver checkpoint names unknown backend {name!r}"
+        )
+    return cls.restore(cp)
+
+
+def screen_readings(
+    p, q, rss, sanitize: str, skip: Callable[[int], None]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared per-sample screening for solver inputs.
+
+    Converts the three sequences to aligned float arrays and drops (repair)
+    or refuses (strict) samples that are non-numeric, non-finite, or carry
+    an RSS outside :data:`~repro.robustness.sanitize.RSSI_PLAUSIBLE_DBM`.
+    ``skip(count)`` is the backend's hook to count and event each dropped
+    sample — screening itself stays policy-free about event names.
+    """
+    if sanitize not in ("strict", "repair"):
+        raise ConfigurationError(
+            f"sanitize must be 'strict' or 'repair', got {sanitize!r}"
+        )
+
+    def as_floats(name, values):
+        out = []
+        for v in values:
+            if isinstance(v, numbers.Real):
+                out.append(float(v))
+            else:
+                try:
+                    out.append(float(v))
+                except (TypeError, ValueError) as exc:
+                    if sanitize == "strict":
+                        raise DataQualityError(
+                            f"non-numeric {name} value {v!r} in solver input"
+                        ) from exc
+                    out.append(float("nan"))
+        return np.asarray(out, dtype=float)
+
+    p_arr, q_arr, rss_arr = (as_floats("p", p), as_floats("q", q),
+                             as_floats("rss", rss))
+    if not (p_arr.shape == q_arr.shape == rss_arr.shape):
+        raise DataQualityError(
+            f"solver inputs must align: p has {p_arr.shape}, "
+            f"q has {q_arr.shape}, rss has {rss_arr.shape}"
+        )
+    lo, hi = RSSI_PLAUSIBLE_DBM
+    ok = (np.isfinite(p_arr) & np.isfinite(q_arr)
+          & (rss_arr >= lo) & (rss_arr <= hi))
+    n_bad = int((~ok).sum())
+    if n_bad:
+        if sanitize == "strict":
+            i = int(np.flatnonzero(~ok)[0])
+            raise DataQualityError(
+                f"unusable solver reading at index {i} "
+                f"(p={p_arr[i]!r}, q={q_arr[i]!r}, rss={rss_arr[i]!r}); "
+                "sanitize the trace first or use sanitize='repair'"
+            )
+        skip(n_bad)
+    return p_arr[ok], q_arr[ok], rss_arr[ok]
+
+
+def emit_skips(backend: str, n_bad: int) -> None:
+    """Count + event ``n_bad`` screened-out readings for ``backend``.
+
+    One call site for both signals keeps the obs/perf parity invariant
+    (every counted failure path produced exactly that many events).
+    """
+    for _ in range(n_bad):
+        perf.count(f"solver.{backend}_skipped")
+        obs.emit(
+            f"solver.{backend}_skipped",
+            severity="debug",
+            component="solver",
+            reason="unusable-reading",
+        )

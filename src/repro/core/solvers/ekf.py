@@ -1,0 +1,346 @@
+"""Extended Kalman filter over the log-distance path-loss state.
+
+The third solver backend (PAPERS.md: Mackey et al. found Bayesian filters
+the strongest BLE proximity estimators; Jadidi et al. track radio sources
+with Gaussian filters over path-loss states). The state is the same four
+parameters the elliptical regression fits — beacon position and path-loss
+model::
+
+    s = (x, h, Γ, n),     rss = Γ - 10 n log10(l),
+    l = hypot(x + p, h + q)
+
+linearised per reading around the current mean. The measurement Jacobian::
+
+    ∂rss/∂x = -(10 n / ln 10) (x + p) / l²
+    ∂rss/∂h = -(10 n / ln 10) (h + q) / l²
+    ∂rss/∂Γ = 1
+    ∂rss/∂n = -10 log10(l)
+
+Each update runs through :func:`repro.core.tracking.joseph_update` — the
+same solve-based gain + Joseph-form covariance machinery
+:class:`~repro.core.tracking.BeaconTracker` uses, so the numerical
+hygiene (no explicit inverse, P kept symmetric PSD) is shared, not
+re-implemented.
+
+The RSS surface is multi-modal in position (any bearing at the right range
+explains a single reading equally well), so a single linearisation point
+is a coin toss. The backend therefore runs a small bank of independent
+EKF hypotheses, initialised on the first observed batch at the
+median-RSS-derived range across several bearings, and :meth:`solve` picks
+the hypothesis whose final state best explains *all* accepted readings
+(lowest RSS-domain RMSE) — a poor man's Gaussian-sum filter that keeps
+each update O(16) floats.
+
+Deterministic (no RNG), so kill-and-resume bit-identity is exact by
+construction; the checkpoint carries every hypothesis and the accepted
+rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro import obs, perf
+from repro.core.estimator import FitResult
+from repro.core.solvers.base import (
+    SOLVER_CHECKPOINT_FORMAT,
+    emit_skips,
+    register_backend,
+    screen_readings,
+)
+from repro.core.tracking import joseph_update
+from repro.errors import (
+    ConfigurationError,
+    DataQualityError,
+    EstimationError,
+    InsufficientDataError,
+)
+from repro.types import Vec2
+
+__all__ = ["EkfBackend"]
+
+_LN10 = math.log(10.0)
+
+#: Bearings (rad) of the initial hypothesis bank — four quadrants is the
+#: coarsest bank that cannot start every hypothesis on the wrong side.
+_INIT_BEARINGS = (0.25 * math.pi, 0.75 * math.pi, 1.25 * math.pi,
+                  1.75 * math.pi)
+
+#: Exponent used to turn the first batch's median RSS into an initial
+#: range guess (the centre of the indoor band; the filter refines it).
+_INIT_N = 2.2
+
+
+@dataclass
+class _Hypothesis:
+    """One EKF track: mean, covariance, and a gated-update count."""
+
+    x: np.ndarray
+    p: np.ndarray
+    n_gated: int = 0
+
+
+@dataclass
+class EkfBackend:
+    """Multi-hypothesis EKF behind the streaming backend contract.
+
+    ``innovation_gate`` rejects readings whose innovation exceeds that many
+    predicted standard deviations *for that hypothesis* — a spike that
+    slips through the plausibility screen must not yank a converged track;
+    each gated update is counted and evented (``solver.ekf_gated``).
+    ``min_samples`` matches the elliptical solver's redundancy floor.
+    """
+
+    sanitize: str = "strict"
+    gamma_prior: float = -59.0
+    gamma_prior_sigma: float = 6.0
+    n_prior: Optional[float] = None
+    rss_sigma_db: float = 3.5
+    max_range_m: float = 16.0
+    innovation_gate: float = 4.0
+    min_samples: int = 8
+    _hypotheses: List[_Hypothesis] = field(default_factory=list, init=False)
+    _p: List[float] = field(default_factory=list, init=False)
+    _q: List[float] = field(default_factory=list, init=False)
+    _rss: List[float] = field(default_factory=list, init=False)
+    _n_skipped: int = field(default=0, init=False)
+
+    name = "ekf"
+
+    def __post_init__(self) -> None:
+        if self.rss_sigma_db <= 0 or self.max_range_m <= 0:
+            raise ConfigurationError("invalid noise/range parameters")
+        if self.innovation_gate <= 0:
+            raise ConfigurationError("innovation gate must be positive")
+        if self.sanitize not in ("strict", "repair"):
+            raise ConfigurationError(
+                f"sanitize must be 'strict' or 'repair', got {self.sanitize!r}"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        sanitize: str = "strict",
+        seed: int = 0,
+        gamma_prior: float = -59.0,
+        n_prior: Optional[float] = None,
+        **_: Any,
+    ) -> "EkfBackend":
+        # ``seed`` is part of the common option set; the EKF is
+        # deterministic so it is simply unused here.
+        return cls(
+            sanitize=sanitize,
+            gamma_prior=-59.0 if gamma_prior is None else float(gamma_prior),
+            n_prior=None if n_prior is None else float(n_prior),
+        )
+
+    # -- assimilation --------------------------------------------------------
+
+    def observe(self, p, q, rss) -> int:
+        def skip(n_bad: int) -> None:
+            self._n_skipped += n_bad
+            emit_skips(self.name, n_bad)
+
+        p_ok, q_ok, rss_ok = screen_readings(p, q, rss, self.sanitize, skip)
+        if len(p_ok) == 0:
+            return 0
+        if not self._hypotheses:
+            self._init_hypotheses(float(np.median(rss_ok)))
+        for p_i, q_i, r_i in zip(p_ok, q_ok, rss_ok):
+            self._assimilate(float(p_i), float(q_i), float(r_i))
+            self._p.append(float(p_i))
+            self._q.append(float(q_i))
+            self._rss.append(float(r_i))
+        return int(len(p_ok))
+
+    def _init_hypotheses(self, rss_median: float) -> None:
+        n0 = _INIT_N if self.n_prior is None else float(self.n_prior)
+        # Invert the path-loss model at the prior Γ for an initial range.
+        l0 = 10.0 ** ((self.gamma_prior - rss_median) / (10.0 * n0))
+        l0 = float(np.clip(l0, 0.5, self.max_range_m))
+        # Generous position spread: each hypothesis owns its bearing
+        # quadrant but must be able to slide along it freely.
+        pos_var = (0.75 * l0 + 1.0) ** 2
+        n_var = 0.6**2 if self.n_prior is None else 0.3**2
+        p0 = np.diag([pos_var, pos_var, self.gamma_prior_sigma**2, n_var])
+        self._hypotheses = [
+            _Hypothesis(
+                x=np.array([l0 * math.cos(b), l0 * math.sin(b),
+                            self.gamma_prior, n0]),
+                p=p0.copy(),
+            )
+            for b in _INIT_BEARINGS
+        ]
+
+    def _assimilate(self, p: float, q: float, rss: float) -> None:
+        r = np.array([[self.rss_sigma_db**2]])
+        for i, hyp in enumerate(self._hypotheses):
+            x, h_pos, gamma, n = hyp.x
+            dx, dy = x + p, h_pos + q
+            l = max(math.hypot(dx, dy), 0.1)
+            predicted = gamma - 10.0 * n * math.log10(l)
+            innovation = np.array([rss - predicted])
+            jac = np.array([[
+                -(10.0 * n / _LN10) * dx / (l * l),
+                -(10.0 * n / _LN10) * dy / (l * l),
+                1.0,
+                -10.0 * math.log10(l),
+            ]])
+            s = (jac @ hyp.p @ jac.T + r).item()
+            if innovation[0] ** 2 > (self.innovation_gate**2) * s:
+                hyp.n_gated += 1
+                perf.count("solver.ekf_gated")
+                obs.emit(
+                    "solver.ekf_gated",
+                    severity="debug",
+                    component="solver",
+                    hypothesis=i,
+                    innovation_db=float(innovation[0]),
+                    predicted_std_db=math.sqrt(s),
+                )
+                continue
+            hyp.x, hyp.p = joseph_update(hyp.x, hyp.p, jac, r, innovation)
+            # Keep the exponent physical; the EKF linearisation can briefly
+            # overshoot the band the model is meaningful in.
+            hyp.x[3] = float(np.clip(hyp.x[3], 1.0, 5.0))
+
+    # -- solving -------------------------------------------------------------
+
+    def _rmse(self, hyp: _Hypothesis) -> float:
+        res = self._residuals(hyp)
+        return float(np.sqrt(np.mean(res**2)))
+
+    def _residuals(self, hyp: _Hypothesis) -> np.ndarray:
+        x, h_pos, gamma, n = hyp.x
+        p = np.asarray(self._p)
+        q = np.asarray(self._q)
+        rss = np.asarray(self._rss)
+        l = np.maximum(np.hypot(x + p, h_pos + q), 0.1)
+        return rss - (gamma - 10.0 * n * np.log10(l))
+
+    def solve(self) -> FitResult:
+        if len(self._rss) < self.min_samples:
+            raise InsufficientDataError(
+                f"EKF solve needs >= {self.min_samples} readings, "
+                f"have {len(self._rss)}"
+            )
+        if not self._hypotheses:
+            raise EstimationError(
+                "EKF has readings but no hypothesis bank — inconsistent state"
+            )
+        best = min(self._hypotheses, key=self._rmse)
+        x, h_pos, gamma, n = (float(v) for v in best.x)
+        if not all(map(math.isfinite, (x, h_pos, gamma, n))):
+            raise EstimationError("EKF state diverged to non-finite values")
+        pos_var = float(best.p[0, 0] + best.p[1, 1])
+        std = math.sqrt(max(pos_var, 0.0))
+        try:
+            cov_cond = float(np.linalg.cond(best.p))
+        except np.linalg.LinAlgError:
+            cov_cond = float("inf")
+        return FitResult(
+            position=Vec2(x, h_pos),
+            n=n,
+            gamma=gamma,
+            epsilon=float(10.0 ** (gamma / (5.0 * n))),
+            residuals=self._residuals(best),
+            position_std=std,
+            solver="ekf",
+            n_candidates=len(self._hypotheses),
+            cov_cond=cov_cond if math.isfinite(cov_cond) else None,
+            cov_status="ok" if math.isfinite(cov_cond) else "error",
+        )
+
+    def diagnostics(self) -> Dict[str, Any]:
+        return {
+            "backend": self.name,
+            "n_observed": len(self._p),
+            "n_skipped": self._n_skipped,
+            "n_hypotheses": len(self._hypotheses),
+            "n_gated": sum(h.n_gated for h in self._hypotheses),
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            "format": SOLVER_CHECKPOINT_FORMAT,
+            "backend": self.name,
+            "sanitize": self.sanitize,
+            "config": {
+                "gamma_prior": self.gamma_prior,
+                "gamma_prior_sigma": self.gamma_prior_sigma,
+                "n_prior": self.n_prior,
+                "rss_sigma_db": self.rss_sigma_db,
+                "max_range_m": self.max_range_m,
+                "innovation_gate": self.innovation_gate,
+                "min_samples": self.min_samples,
+            },
+            "hypotheses": [
+                {"x": h.x.tolist(), "p": h.p.tolist(), "n_gated": h.n_gated}
+                for h in self._hypotheses
+            ],
+            "p": list(self._p),
+            "q": list(self._q),
+            "rss": list(self._rss),
+            "n_skipped": self._n_skipped,
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "EkfBackend":
+        from repro.service.checkpoint import restore_guard
+
+        if not isinstance(cp, dict) or cp.get("format") != SOLVER_CHECKPOINT_FORMAT:
+            found = cp.get("format") if isinstance(cp, dict) else cp
+            raise DataQualityError(
+                "unsupported EKF solver checkpoint: expected format "
+                f"{SOLVER_CHECKPOINT_FORMAT}, got {found!r}"
+            )
+        with restore_guard("ekf solver backend"):
+            cfg = cp["config"]
+            backend = cls(
+                sanitize=str(cp["sanitize"]),
+                gamma_prior=float(cfg["gamma_prior"]),
+                gamma_prior_sigma=float(cfg["gamma_prior_sigma"]),
+                n_prior=(None if cfg["n_prior"] is None
+                         else float(cfg["n_prior"])),
+                rss_sigma_db=float(cfg["rss_sigma_db"]),
+                max_range_m=float(cfg["max_range_m"]),
+                innovation_gate=float(cfg["innovation_gate"]),
+                min_samples=int(cfg["min_samples"]),
+            )
+            for h in cp["hypotheses"]:
+                x = np.asarray(h["x"], dtype=float)
+                p = np.asarray(h["p"], dtype=float)
+                if x.shape != (4,) or p.shape != (4, 4):
+                    raise DataQualityError(
+                        "EKF checkpoint hypothesis has malformed shapes"
+                    )
+                if not (np.all(np.isfinite(x)) and np.all(np.isfinite(p))):
+                    raise DataQualityError(
+                        "EKF checkpoint contains non-finite state"
+                    )
+                backend._hypotheses.append(
+                    _Hypothesis(x=x, p=p, n_gated=int(h["n_gated"]))
+                )
+            p_rows = [float(v) for v in cp["p"]]
+            q_rows = [float(v) for v in cp["q"]]
+            rss_rows = [float(v) for v in cp["rss"]]
+            if not (len(p_rows) == len(q_rows) == len(rss_rows)):
+                raise DataQualityError(
+                    "EKF solver checkpoint rows do not align"
+                )
+            if rss_rows and not backend._hypotheses:
+                raise DataQualityError(
+                    "EKF solver checkpoint has readings but no hypotheses"
+                )
+            backend._p, backend._q, backend._rss = p_rows, q_rows, rss_rows
+            backend._n_skipped = int(cp["n_skipped"])
+        return backend
+
+
+register_backend("ekf", EkfBackend)

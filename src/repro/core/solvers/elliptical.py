@@ -1,0 +1,142 @@
+"""The paper's elliptical regression as a solver backend.
+
+A thin adapter: the PR 5 warm/incremental/batched elliptical stack
+(:class:`~repro.core.estimator.EllipticalEstimator`) is used *unchanged* —
+this wrapper only buffers observed rows so the batch fit can re-run over
+everything seen so far, which is exactly how the sequential pipeline
+already uses it. `LocBLE`'s elliptical serving path does not go through
+this class (it keeps its specialised warm-start/batching fast paths); the
+backend exists so the cross-backend harnesses — the degradation matrix,
+the accuracy-vs-cost bench, checkpoint fuzzing — drive all three solvers
+through one interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.estimator import EllipticalEstimator, FitResult
+from repro.core.solvers.base import (
+    SOLVER_CHECKPOINT_FORMAT,
+    emit_skips,
+    register_backend,
+    screen_readings,
+)
+from repro.errors import DataQualityError
+
+__all__ = ["EllipticalBackend"]
+
+
+@dataclass
+class EllipticalBackend:
+    """Batch elliptical regression behind the streaming backend contract."""
+
+    estimator: EllipticalEstimator
+    sanitize: str = "strict"
+    _p: List[float] = field(default_factory=list)
+    _q: List[float] = field(default_factory=list)
+    _rss: List[float] = field(default_factory=list)
+    _n_skipped: int = field(default=0, init=False)
+
+    name = "elliptical"
+
+    @classmethod
+    def create(
+        cls,
+        sanitize: str = "strict",
+        seed: int = 0,
+        gamma_prior: Optional[float] = -59.0,
+        n_prior: Optional[float] = None,
+        **_: Any,
+    ) -> "EllipticalBackend":
+        # ``seed`` is part of the common option set; the batch fit is
+        # deterministic so it is simply unused here.
+        return cls(
+            estimator=EllipticalEstimator(
+                gamma_prior=gamma_prior, n_prior=n_prior
+            ),
+            sanitize=sanitize,
+        )
+
+    def observe(self, p, q, rss) -> int:
+        def skip(n_bad: int) -> None:
+            self._n_skipped += n_bad
+            emit_skips(self.name, n_bad)
+
+        p_ok, q_ok, rss_ok = screen_readings(p, q, rss, self.sanitize, skip)
+        self._p.extend(p_ok.tolist())
+        self._q.extend(q_ok.tolist())
+        self._rss.extend(rss_ok.tolist())
+        return int(len(p_ok))
+
+    def solve(self) -> FitResult:
+        return self.estimator.fit(
+            np.asarray(self._p), np.asarray(self._q), np.asarray(self._rss)
+        )
+
+    def diagnostics(self) -> Dict[str, Any]:
+        return {
+            "backend": self.name,
+            "n_observed": len(self._p),
+            "n_skipped": self._n_skipped,
+        }
+
+    def checkpoint(self) -> Dict[str, Any]:
+        est = self.estimator
+        return {
+            "format": SOLVER_CHECKPOINT_FORMAT,
+            "backend": self.name,
+            "sanitize": self.sanitize,
+            "config": {
+                "gamma_prior": est.gamma_prior,
+                "n_prior": est.n_prior,
+                "min_samples": est.min_samples,
+            },
+            "p": list(self._p),
+            "q": list(self._q),
+            "rss": list(self._rss),
+            "n_skipped": self._n_skipped,
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "EllipticalBackend":
+        from repro.service.checkpoint import restore_guard
+
+        if not isinstance(cp, dict) or cp.get("format") != SOLVER_CHECKPOINT_FORMAT:
+            found = cp.get("format") if isinstance(cp, dict) else cp
+            raise DataQualityError(
+                "unsupported elliptical solver checkpoint: expected format "
+                f"{SOLVER_CHECKPOINT_FORMAT}, got {found!r}"
+            )
+        with restore_guard("elliptical solver backend"):
+            cfg = cp["config"]
+            backend = cls(
+                estimator=EllipticalEstimator(
+                    gamma_prior=(None if cfg["gamma_prior"] is None
+                                 else float(cfg["gamma_prior"])),
+                    n_prior=(None if cfg["n_prior"] is None
+                             else float(cfg["n_prior"])),
+                    min_samples=int(cfg["min_samples"]),
+                ),
+                sanitize=str(cp["sanitize"]),
+            )
+            p = [float(v) for v in cp["p"]]
+            q = [float(v) for v in cp["q"]]
+            rss = [float(v) for v in cp["rss"]]
+            if not (len(p) == len(q) == len(rss)):
+                raise DataQualityError(
+                    "elliptical solver checkpoint rows do not align"
+                )
+            if not all(np.isfinite(p + q + rss)):
+                raise DataQualityError(
+                    "elliptical solver checkpoint contains non-finite rows"
+                )
+            backend._p, backend._q, backend._rss = p, q, rss
+            backend._n_skipped = int(cp["n_skipped"])
+        return backend
+
+
+register_backend("elliptical", EllipticalBackend)

@@ -1,0 +1,166 @@
+"""The sequential Monte Carlo estimator as a solver backend.
+
+Wraps :class:`~repro.core.particle.ParticleEstimator` (the module this
+PR's bugfixes hardened) behind the :class:`~repro.core.solvers.base.
+SolverBackend` contract. The backend screens inputs once (emitting the
+same ``solver.particle_skipped`` signals the estimator itself uses, so
+accounting is uniform), feeds clean readings to the filter, and keeps the
+accepted rows so :meth:`solve` can report RSS-domain residuals — the
+common currency every backend's :class:`~repro.core.estimator.FitResult`
+speaks, and what the confidence score downstream is computed from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.estimator import FitResult
+from repro.core.particle import ParticleEstimator
+from repro.core.solvers.base import (
+    SOLVER_CHECKPOINT_FORMAT,
+    emit_skips,
+    register_backend,
+    screen_readings,
+)
+from repro.errors import DataQualityError
+
+__all__ = ["ParticleBackend"]
+
+
+@dataclass
+class ParticleBackend:
+    """SIR particle filter behind the streaming backend contract."""
+
+    estimator: ParticleEstimator
+    sanitize: str = "strict"
+    _p: List[float] = field(default_factory=list)
+    _q: List[float] = field(default_factory=list)
+    _rss: List[float] = field(default_factory=list)
+    _n_skipped: int = field(default=0, init=False)
+
+    name = "particle"
+
+    @classmethod
+    def create(
+        cls,
+        sanitize: str = "strict",
+        seed: int = 0,
+        gamma_prior: float = -59.0,
+        n_prior: Any = None,
+        n_particles: int = 1500,
+        **_: Any,
+    ) -> "ParticleBackend":
+        # ``n_prior`` narrows the exponent band around the environment's
+        # class centre instead of pinning it — particles keep exploring.
+        n_low, n_high = (1.6, 3.2)
+        if n_prior is not None:
+            n_low = max(1.0, float(n_prior) - 0.5)
+            n_high = min(5.0, float(n_prior) + 0.5)
+        return cls(
+            estimator=ParticleEstimator(
+                rng=np.random.default_rng(seed),
+                n_particles=n_particles,
+                gamma_prior=(-59.0 if gamma_prior is None
+                             else float(gamma_prior)),
+                n_low=n_low,
+                n_high=n_high,
+                # The backend screens before the filter sees anything, so
+                # the filter's own screen is pure defence in depth; repair
+                # keeps it from double-raising on anything that slips by.
+                sanitize="repair",
+            ),
+            sanitize=sanitize,
+        )
+
+    def observe(self, p, q, rss) -> int:
+        def skip(n_bad: int) -> None:
+            self._n_skipped += n_bad
+            emit_skips(self.name, n_bad)
+
+        p_ok, q_ok, rss_ok = screen_readings(p, q, rss, self.sanitize, skip)
+        taken = 0
+        for p_i, q_i, r_i in zip(p_ok, q_ok, rss_ok):
+            if self.estimator.update(float(p_i), float(q_i), float(r_i)):
+                self._p.append(float(p_i))
+                self._q.append(float(q_i))
+                self._rss.append(float(r_i))
+                taken += 1
+        return taken
+
+    def solve(self) -> FitResult:
+        est = self.estimator.estimate()
+        x, h = est.position.x, est.position.y
+        p = np.asarray(self._p)
+        q = np.asarray(self._q)
+        rss = np.asarray(self._rss)
+        l = np.maximum(np.hypot(x + p, h + q), 0.1)
+        residuals = rss - (est.gamma - 10.0 * est.n * np.log10(l))
+        std = float(est.position_std)
+        return FitResult(
+            position=est.position,
+            n=float(est.n),
+            gamma=float(est.gamma),
+            epsilon=float(10.0 ** (est.gamma / (5.0 * est.n))),
+            residuals=residuals,
+            position_std=std,
+            solver="particle",
+            n_candidates=self.estimator.n_particles,
+            cov_status="ok" if math.isfinite(std) else "error",
+        )
+
+    def diagnostics(self) -> Dict[str, Any]:
+        est = self.estimator
+        return {
+            "backend": self.name,
+            "n_observed": len(self._p),
+            "n_skipped": self._n_skipped + est.n_skipped,
+            "n_updates": est.n_updates,
+            "n_degenerate": est._n_degenerate,
+            "n_resamples": est._n_resamples,
+            "ess": est.effective_sample_size,
+        }
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            "format": SOLVER_CHECKPOINT_FORMAT,
+            "backend": self.name,
+            "sanitize": self.sanitize,
+            "estimator": self.estimator.checkpoint(),
+            "p": list(self._p),
+            "q": list(self._q),
+            "rss": list(self._rss),
+            "n_skipped": self._n_skipped,
+        }
+
+    @classmethod
+    def restore(cls, cp: Dict[str, Any]) -> "ParticleBackend":
+        from repro.service.checkpoint import restore_guard
+
+        if not isinstance(cp, dict) or cp.get("format") != SOLVER_CHECKPOINT_FORMAT:
+            found = cp.get("format") if isinstance(cp, dict) else cp
+            raise DataQualityError(
+                "unsupported particle solver checkpoint: expected format "
+                f"{SOLVER_CHECKPOINT_FORMAT}, got {found!r}"
+            )
+        with restore_guard("particle solver backend"):
+            backend = cls(
+                estimator=ParticleEstimator.restore(cp["estimator"]),
+                sanitize=str(cp["sanitize"]),
+            )
+            p = [float(v) for v in cp["p"]]
+            q = [float(v) for v in cp["q"]]
+            rss = [float(v) for v in cp["rss"]]
+            if not (len(p) == len(q) == len(rss)):
+                raise DataQualityError(
+                    "particle solver checkpoint rows do not align"
+                )
+            backend._p, backend._q, backend._rss = p, q, rss
+            backend._n_skipped = int(cp["n_skipped"])
+        return backend
+
+
+register_backend("particle", ParticleBackend)

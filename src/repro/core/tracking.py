@@ -22,10 +22,36 @@ from repro import obs, perf
 from repro.errors import ConfigurationError, DataQualityError, EstimationError
 from repro.types import LocationEstimate, Vec2
 
-__all__ = ["BeaconTracker", "TrackState"]
+__all__ = ["BeaconTracker", "TrackState", "joseph_update"]
 
 #: Checkpoint schema version written by :meth:`BeaconTracker.checkpoint`.
 TRACKER_CHECKPOINT_FORMAT = 1
+
+
+def joseph_update(x, p, h, r, innovation):
+    """One Kalman measurement update in Joseph (stabilised) form.
+
+    Shared by :class:`BeaconTracker` and the EKF solver backend
+    (:mod:`repro.core.solvers.ekf`). Computes the gain by solving
+    ``S Kᵀ = H Pᵀ`` rather than inverting S, and applies the Joseph-form
+    covariance update — algebraically identical to ``(I - KH) P`` but keeps
+    P symmetric positive semi-definite even when S is ill-conditioned.
+
+    Returns the updated ``(x, p)``; raises
+    :class:`~repro.errors.EstimationError` when the innovation covariance
+    is singular.
+    """
+    s = h @ p @ h.T + r
+    try:
+        k = np.linalg.solve(s, h @ p.T).T
+    except np.linalg.LinAlgError as exc:
+        raise EstimationError(
+            f"innovation covariance is singular: {exc}"
+        ) from exc
+    x = x + k @ innovation
+    i_kh = np.eye(p.shape[0]) - k @ h
+    p = i_kh @ p @ i_kh.T + k @ r @ k.T
+    return x, 0.5 * (p + p.T)
 
 
 @dataclass(frozen=True)
@@ -112,21 +138,7 @@ class BeaconTracker:
         self._predict_to(t)
         h = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
         innovation = z - h @ self._x
-        s = h @ self._p @ h.T + r
-        # Solve instead of inverting: K = P Hᵀ S⁻¹  ⇔  S Kᵀ = H Pᵀ.
-        try:
-            k = np.linalg.solve(s, h @ self._p.T).T
-        except np.linalg.LinAlgError as exc:
-            raise EstimationError(
-                f"innovation covariance is singular: {exc}"
-            ) from exc
-        self._x = self._x + k @ innovation
-        # Joseph-form covariance update: algebraically identical to
-        # (I - KH)P but keeps P symmetric positive semi-definite even when
-        # S is ill-conditioned (tiny position_std fixes).
-        i_kh = np.eye(4) - k @ h
-        self._p = i_kh @ self._p @ i_kh.T + k @ r @ k.T
-        self._p = 0.5 * (self._p + self._p.T)
+        self._x, self._p = joseph_update(self._x, self._p, h, r, innovation)
         return self.state()
 
     def predict(self, t: float) -> TrackState:

@@ -106,11 +106,23 @@ class SessionConfig:
     default_fix_std: float = 2.0
     warm_start: bool = True
     warm_max_age_s: float = 30.0
+    #: Which solver backend the session's pipeline solves with (a name
+    #: from :func:`repro.core.solvers.available_backends`). Checkpoints
+    #: written before this field existed restore as ``"elliptical"`` —
+    #: the only behaviour that existed then.
+    solver: str = "elliptical"
     health: HealthConfig = field(default_factory=HealthConfig)
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     backoff: BackoffConfig = field(default_factory=BackoffConfig)
 
     def __post_init__(self) -> None:
+        from repro.core.solvers import available_backends
+
+        if self.solver not in available_backends():
+            raise ConfigurationError(
+                f"unknown solver {self.solver!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         if not (math.isfinite(self.window_s) and self.window_s > 0):
             raise ConfigurationError("window_s must be finite and > 0")
         if not (math.isfinite(self.solve_period_s) and self.solve_period_s > 0):
@@ -181,6 +193,16 @@ class TrackingSession:
         self.config = config or SessionConfig()
         self._pipeline_factory = pipeline_factory
         self.pipeline = pipeline_factory()
+        # A non-default config.solver is authoritative over the factory's
+        # pipeline (the factory predates solver selection); a custom
+        # factory that sets its own solver keeps it when the config stays
+        # at the default.
+        if (self.config.solver != "elliptical"
+                and isinstance(self.pipeline, LocBLE)
+                and self.pipeline.solver != self.config.solver):
+            self.pipeline = dataclasses.replace(
+                self.pipeline, solver=self.config.solver
+            )
         self.tracker = self._new_tracker()
         self.health = HealthMachine(self.config.health)
         self.breaker = CircuitBreaker(self.config.breaker, key=beacon_id)
@@ -408,6 +430,13 @@ class TrackingSession:
                 breaker_state=self.breaker.state,
                 backoff_attempt=self.backoff.attempt,
             )
+            return None
+
+        if not getattr(self.pipeline, "uses_batched_solver", True):
+            # Sequential-only backend (particle, EKF): there is no
+            # cross-session batched solve to join, so run the full solve
+            # inline — outcome accounting is identical to :meth:`step`.
+            self._attempt_solve(t, window, imu_window)
             return None
 
         self._count("solves_attempted")

@@ -323,6 +323,7 @@ def degradation_sweep(
     failure_value: Optional[float] = None,
     max_workers: Optional[int] = None,
     parallel: str = "auto",
+    pipeline_factory=None,
 ) -> List[Tuple[FaultModel, List[float]]]:
     """Error samples per fault model: the raw material of a degradation curve.
 
@@ -330,6 +331,11 @@ def degradation_sweep(
     the same seeds (so curves differ only by the injected faults) with the
     pipeline in repair mode. Returns ``[(model, errors), ...]`` in the order
     given; summarize with :func:`repro.sim.montecarlo.summarize`.
+
+    ``pipeline_factory`` swaps the trial pipeline — e.g.
+    :class:`repro.sim.montecarlo.SolverPipelineFactory` to sweep the same
+    fault grid across solver backends. It must be picklable for the
+    process-parallel path.
     """
     from repro.sim.montecarlo import stationary_trials
 
@@ -343,6 +349,7 @@ def degradation_sweep(
             failure_value=failure_value,
             max_workers=max_workers,
             parallel=parallel,
+            pipeline_factory=pipeline_factory,
         )
         out.append((model, errors))
     return out

@@ -1,0 +1,147 @@
+"""Solver-backend checkpoints: kill-and-resume bit-identity plus corruption fuzz.
+
+Same contract every other stateful layer honours (tests/test_checkpoint_fuzz.py):
+
+* a JSON checkpoint taken mid-stream, serialized, restored in a "new
+  process", and fed the rest of the stream must land **bit-identically**
+  on the uninterrupted run — including the particle backend's RNG-driven
+  resampling;
+* a *corrupted* checkpoint (truncated keys, junk values of every JSON
+  shape) must either restore something valid or fail with a typed
+  :class:`~repro.errors.DataQualityError` /
+  :class:`~repro.errors.ConfigurationError` — never a bare ``KeyError``
+  or ``TypeError`` from half-parsed fields.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.pathloss import rss_at
+from repro.core.solvers import make_solver, restore_solver
+from repro.errors import ConfigurationError, DataQualityError
+
+ALLOWED = (DataQualityError, ConfigurationError)
+
+JUNK = st.sampled_from([
+    None, True, "x", "open", "1e309", -1, -7, 2 ** 80, -1.5,
+    float("nan"), float("inf"), -float("inf"), [], [1, 2], {}, {"a": 1},
+])
+
+#: The backends whose checkpoints carry live estimation state.
+STATEFUL = ("particle", "ekf")
+
+
+def _readings(rng, true=(4.0, 3.0), gamma=-59.0, n=2.1, noise=1.5,
+              n_samples=40):
+    d = np.linspace(0, 4.5, n_samples)
+    p = -np.minimum(d, 2.5)
+    q = -np.clip(d - 2.5, 0, 2.0)
+    l = np.hypot(true[0] + p, true[1] + q)
+    rss = np.array([rss_at(x, gamma, n) for x in l])
+    rss = rss + rng.normal(0, noise, n_samples)
+    return p, q, rss
+
+
+def _mid_stream_checkpoint(name, seed=5):
+    rng = np.random.default_rng(seed)
+    p, q, rss = _readings(rng)
+    be = make_solver(name, seed=seed, sanitize="repair")
+    be.observe(p[:20], q[:20], rss[:20])
+    return be, be.checkpoint(), (p[20:], q[20:], rss[20:])
+
+
+class TestKillAndResumeBitIdentity:
+    @pytest.mark.parametrize("name", STATEFUL + ("elliptical",))
+    def test_resumed_run_matches_uninterrupted(self, name):
+        survivor, cp, rest = _mid_stream_checkpoint(name)
+        # The "new process": nothing shared but the serialized bytes.
+        resumed = restore_solver(json.loads(json.dumps(cp)))
+
+        survivor.observe(*rest)
+        resumed.observe(*rest)
+
+        a, b = survivor.solve(), resumed.solve()
+        assert a.position.x == b.position.x
+        assert a.position.y == b.position.y
+        assert a.gamma == b.gamma
+        assert a.n == b.n
+        assert a.position_std == b.position_std
+        np.testing.assert_array_equal(a.residuals, b.residuals)
+
+    def test_particle_rng_stream_continues_exactly(self):
+        """The strongest form: the restored filter's RNG continues the
+        checkpointed stream, so even resample jitter is bit-identical."""
+        survivor, cp, rest = _mid_stream_checkpoint("particle")
+        resumed = restore_solver(json.loads(json.dumps(cp)))
+        survivor.observe(*rest)
+        resumed.observe(*rest)
+        np.testing.assert_array_equal(
+            survivor.estimator._state, resumed.estimator._state)
+        np.testing.assert_array_equal(
+            survivor.estimator._weights, resumed.estimator._weights)
+        assert (survivor.estimator.rng.bit_generator.state
+                == resumed.estimator.rng.bit_generator.state)
+
+    @pytest.mark.parametrize("name", STATEFUL)
+    def test_diagnostics_counters_survive(self, name):
+        be = make_solver(name, sanitize="repair")
+        be.observe([0.0, float("nan")], [0.0, 0.0], [-60.0, -60.0])
+        restored = restore_solver(json.loads(json.dumps(be.checkpoint())))
+        assert restored.diagnostics()["n_skipped"] == 1
+
+
+class TestCheckpointCorruptionFuzz:
+    """Structural corruption in the style of tests/test_checkpoint_fuzz.py."""
+
+    @staticmethod
+    def _corrupt(cp, drop_keys, junk_sites):
+        cp = copy.deepcopy(cp)
+        keys = sorted(cp)
+        for i in drop_keys:
+            cp.pop(keys[i % len(keys)], None)
+        for i, junk in junk_sites:
+            key = keys[i % len(keys)]
+            if key in cp:
+                cp[key] = junk
+        return cp
+
+    @pytest.mark.parametrize("name", STATEFUL)
+    @given(drop_keys=st.lists(st.integers(0, 20), max_size=3),
+           junk_sites=st.lists(st.tuples(st.integers(0, 20), JUNK),
+                               max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_corrupted_checkpoints_fail_typed_or_restore(
+        self, name, drop_keys, junk_sites
+    ):
+        _, cp, _ = _mid_stream_checkpoint(name)
+        mangled = self._corrupt(cp, drop_keys, junk_sites)
+        try:
+            restored = restore_solver(mangled)
+        except ALLOWED:
+            return
+        restored.solve()  # whatever restored must actually work
+
+    @pytest.mark.parametrize("name", STATEFUL)
+    @given(junk=JUNK)
+    @settings(max_examples=20, deadline=None)
+    def test_nested_state_corruption_fails_typed(self, name, junk):
+        _, cp, _ = _mid_stream_checkpoint(name)
+        cp = copy.deepcopy(cp)
+        nested_key = "estimator" if name == "particle" else "hypotheses"
+        cp[nested_key] = junk
+        try:
+            restored = restore_solver(cp)
+        except ALLOWED:
+            return
+        restored.solve()
+
+    @pytest.mark.parametrize("name", STATEFUL + ("elliptical",))
+    def test_uncorrupted_checkpoints_restore_cleanly(self, name):
+        _, cp, _ = _mid_stream_checkpoint(name)
+        restored = restore_solver(json.loads(json.dumps(cp)))
+        assert restored.name == name

@@ -1,0 +1,256 @@
+"""Tests for the pluggable solver-backend interface (:mod:`repro.core.solvers`).
+
+Covers the registry, the common ``observe/solve`` contract and screening
+policy across all three backends, threading ``solver=`` through
+:class:`~repro.core.pipeline.LocBLE` and the session/service configs
+(including checkpoint back-compat: absent field → elliptical), obs/perf
+parity of the new ``solver.*`` signals, and the cross-backend equivalence
+smoke on the Table-1 stationary scenario.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs, perf
+from repro.channel.pathloss import rss_at
+from repro.core.pipeline import LocBLE
+from repro.core.solvers import (
+    EkfBackend,
+    EllipticalBackend,
+    ParticleBackend,
+    available_backends,
+    make_solver,
+    restore_solver,
+)
+from repro.errors import (
+    ConfigurationError,
+    DataQualityError,
+    InsufficientDataError,
+)
+from repro.service import SessionConfig, TrackingSession
+from repro.sim.montecarlo import SolverPipelineFactory
+from repro.types import RssiSample
+
+BACKENDS = ("ekf", "elliptical", "particle")
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _l_walk_readings(rng, true=(4.0, 3.0), gamma=-59.0, n=2.1, noise=1.5,
+                     n_samples=40):
+    d = np.linspace(0, 4.5, n_samples)
+    p = -np.minimum(d, 2.5)
+    q = -np.clip(d - 2.5, 0, 2.0)
+    l = np.hypot(true[0] + p, true[1] + q)
+    rss = np.array([rss_at(x, gamma, n) for x in l])
+    rss = rss + rng.normal(0, noise, n_samples)
+    return p, q, rss
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert available_backends() == BACKENDS
+
+    def test_make_solver_builds_each(self):
+        assert isinstance(make_solver("elliptical"), EllipticalBackend)
+        assert isinstance(make_solver("particle"), ParticleBackend)
+        assert isinstance(make_solver("ekf"), EkfBackend)
+
+    def test_unknown_name_is_typed(self):
+        with pytest.raises(ConfigurationError):
+            make_solver("levenberg")
+
+    def test_restore_dispatches_on_backend_field(self):
+        for name in BACKENDS:
+            be = make_solver(name)
+            restored = restore_solver(json.loads(json.dumps(be.checkpoint())))
+            assert restored.name == name
+
+    def test_restore_rejects_junk(self):
+        with pytest.raises(DataQualityError):
+            restore_solver("not a checkpoint")
+        with pytest.raises(DataQualityError):
+            restore_solver({"backend": "nope"})
+
+
+class TestBackendContract:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_observe_solve_recovers_position(self, name):
+        rng = np.random.default_rng(1)
+        p, q, rss = _l_walk_readings(rng, noise=1.0)
+        be = make_solver(name, seed=1)
+        assert be.observe(p, q, rss) == len(p)
+        fit = be.solve()
+        err = float(np.hypot(fit.position.x - 4.0, fit.position.y - 3.0))
+        assert err < 3.0
+        assert fit.solver == ("gauss-newton" if name == "elliptical"
+                              else name)
+        assert len(fit.residuals) == len(p)
+        assert np.isfinite(fit.rss_rmse)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_strict_screening_raises_typed(self, name):
+        be = make_solver(name, sanitize="strict")
+        with pytest.raises(DataQualityError):
+            be.observe([0.0, float("nan")], [0.0, 0.0], [-60.0, -61.0])
+        with pytest.raises(DataQualityError):
+            be.observe([0.0], [0.0], [-1.0e200])
+        with pytest.raises(DataQualityError):
+            be.observe(["spam"], [0.0], [-60.0])
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_repair_screening_skips_counts_and_events(self, name):
+        rng = np.random.default_rng(2)
+        p, q, rss = _l_walk_readings(rng)
+        be = make_solver(name, sanitize="repair", seed=2)
+        counter = f"solver.{be.name}_skipped"
+        counter_before = perf.counter_value(counter)
+
+        p_bad = np.concatenate([p, [float("nan"), 0.0]])
+        q_bad = np.concatenate([q, [0.0, float("inf")]])
+        rss_bad = np.concatenate([rss, [-60.0, -60.0]])
+        assert be.observe(p_bad, q_bad, rss_bad) == len(p)
+
+        fit = be.solve()
+        assert np.isfinite(fit.position.x)
+        assert be.diagnostics()["n_skipped"] == 2
+        # obs/perf parity: the skips were evented and counted at one site.
+        assert perf.counter_value(counter) == counter_before + 2
+        assert obs.counts().get(counter) == 2
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_misaligned_inputs_are_typed(self, name):
+        be = make_solver(name)
+        with pytest.raises(DataQualityError):
+            be.observe([0.0, 1.0], [0.0], [-60.0])
+
+    def test_ekf_insufficient_data_is_typed(self):
+        be = make_solver("ekf")
+        be.observe([0.0], [0.0], [-60.0])
+        with pytest.raises(InsufficientDataError):
+            be.solve()
+
+
+class TestLocBLEThreading:
+    @pytest.fixture(scope="class")
+    def record(self):
+        from repro import BeaconSpec, Simulator, l_shape, scenario
+
+        sc = scenario(1)
+        sim = Simulator(sc.floorplan, np.random.default_rng(0))
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                       leg1=2.8, leg2=2.2)
+        rec = sim.simulate(
+            walk, [BeaconSpec("b", position=sc.beacon_position)])
+        return rec
+
+    def test_unknown_solver_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            LocBLE(solver="nope")
+
+    def test_only_elliptical_has_batched_path(self, record):
+        assert LocBLE().uses_batched_solver
+        for name in ("particle", "ekf"):
+            pipeline = LocBLE(solver=name)
+            assert not pipeline.uses_batched_solver
+            with pytest.raises(ConfigurationError):
+                pipeline.prepare_estimate(
+                    record.rssi_traces["b"], record.observer_imu.trace)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_table1_stationary_equivalence_smoke(self, record, name):
+        """Cross-backend equivalence on the Table-1 scenario-1 measurement:
+        every backend localises the same beacon from the same trace within
+        tolerance, and provenance names the backend that solved."""
+        est = LocBLE(solver=name).estimate(
+            record.rssi_traces["b"], record.observer_imu.trace)
+        truth = record.true_position_in_frame("b")
+        assert est.error_to(truth) < 5.0
+        prov = est.diagnostics.provenance
+        expected = "gauss-newton" if name == "elliptical" else name
+        assert prov.solver == expected
+        assert est.diagnostics.full_pipeline or name == "elliptical"
+
+    def test_backend_solve_is_deterministic(self, record):
+        args = (record.rssi_traces["b"], record.observer_imu.trace)
+        a = LocBLE(solver="particle").estimate(*args)
+        b = LocBLE(solver="particle").estimate(*args)
+        assert a.position.x == b.position.x
+        assert a.position.y == b.position.y
+
+
+class TestSessionThreading:
+    def test_config_validates_solver(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(solver="nope")
+
+    def test_config_roundtrip_carries_solver(self):
+        cfg = SessionConfig(solver="ekf")
+        assert SessionConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict()))).solver == "ekf"
+
+    def test_legacy_config_dict_defaults_to_elliptical(self):
+        d = SessionConfig().to_dict()
+        d.pop("solver")
+        assert SessionConfig.from_dict(d).solver == "elliptical"
+
+    def test_session_pipeline_follows_config_solver(self):
+        s = TrackingSession("b0", config=SessionConfig(solver="particle"))
+        assert s.pipeline.solver == "particle"
+        assert not s.pipeline.uses_batched_solver
+
+    def test_session_checkpoint_restores_solver(self):
+        s = TrackingSession("b0", config=SessionConfig(solver="ekf"))
+        cp = json.loads(json.dumps(s.checkpoint()))
+        restored = TrackingSession.restore(cp)
+        assert restored.config.solver == "ekf"
+        assert restored.pipeline.solver == "ekf"
+
+    def test_legacy_session_checkpoint_defaults_to_elliptical(self):
+        s = TrackingSession("b0")
+        cp = json.loads(json.dumps(s.checkpoint()))
+        cp["config"].pop("solver")
+        restored = TrackingSession.restore(cp)
+        assert restored.config.solver == "elliptical"
+        assert restored.pipeline.uses_batched_solver
+
+    def test_sequential_backend_solves_inline_on_begin_step(self):
+        """begin_step must not try to join the fit_batch for a backend
+        with no batched path — it solves inline like step() would."""
+        from repro import BeaconSpec, Simulator, l_shape, scenario
+        from repro.types import ImuTrace  # noqa: F401  (type context)
+
+        sc = scenario(1)
+        sim = Simulator(sc.floorplan, np.random.default_rng(0))
+        walk = l_shape(sc.observer_start, sc.observer_heading_rad,
+                       leg1=2.8, leg2=2.2)
+        rec = sim.simulate(
+            walk, [BeaconSpec("b", position=sc.beacon_position)])
+        trace = rec.rssi_traces["b"]
+
+        s = TrackingSession("b0", config=SessionConfig(solver="particle"))
+        s.ingest(RssiSample(sm.timestamp, sm.rssi, "b0", sm.channel)
+                 for sm in trace)
+        pending = s.begin_step(float(trace.samples[-1].timestamp),
+                               rec.observer_imu.trace)
+        assert pending is None
+        assert s.counters["solves_attempted"] == 1
+        assert s.last_estimate is not None
+
+
+class TestSolverPipelineFactory:
+    def test_factory_is_picklable_and_builds_solver(self):
+        import pickle
+
+        factory = pickle.loads(pickle.dumps(
+            SolverPipelineFactory(solver="ekf")))
+        pipeline = factory()
+        assert pipeline.solver == "ekf"
+        assert pipeline.sanitize == "repair"
